@@ -1,0 +1,118 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	paperbench -fig all            # every figure at the default scale
+//	paperbench -fig 6 -scale 0.5   # one figure, reduced scale
+//	paperbench -table1             # the simulated-system configuration
+//	paperbench -fig 6 -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvmsim"
+	"uvmsim/internal/cliutil"
+	"uvmsim/internal/plot"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 1-8, or 'all'")
+		table1    = flag.Bool("table1", false, "print Table I (simulated system configuration)")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotOut   = flag.Bool("plot", false, "render tables as terminal bar charts")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		sample    = flag.Uint64("sample", 256, "Fig. 3 sampling density (1 = every access)")
+	)
+	flag.Parse()
+
+	if !*table1 && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 {
+		fmt.Print(uvmsim.Table1(uvmsim.DefaultConfig()))
+		fmt.Println()
+	}
+	if *fig == "" {
+		return
+	}
+
+	opt := uvmsim.ExperimentOptions{Scale: *scale}
+	if *workloads != "" {
+		opt.Workloads = cliutil.SplitList(*workloads)
+	}
+	emit := func(t *uvmsim.Table) {
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *plotOut:
+			rows := make([]plot.NamedRow, len(t.Rows))
+			for i, r := range t.Rows {
+				rows[i] = plot.NamedRow{Label: r.Label, Values: r.Values}
+			}
+			fmt.Print(plot.GroupedBars(t.Title+"\n"+t.Metric, t.Columns, rows, 50))
+		default:
+			fmt.Print(t.Format())
+		}
+		fmt.Println()
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	}
+	for _, f := range figs {
+		switch f {
+		case "1":
+			emit(uvmsim.Fig1(opt))
+		case "2":
+			for _, w := range []string{"fdtd", "sssp"} {
+				fmt.Println(uvmsim.Fig2(w, opt))
+			}
+		case "3":
+			series := uvmsim.Fig3("fdtd", opt, []int{2, 4}, *sample)
+			for _, it := range []int{2, 4} {
+				fmt.Printf("Figure 3 (fdtd, iteration %d):\n%s\n", it, series[it])
+			}
+			series = uvmsim.Fig3("sssp", opt, []int{3, 5}, *sample)
+			for _, it := range []int{3, 5} {
+				fmt.Printf("Figure 3 (sssp, iteration %d):\n%s\n", it, series[it])
+			}
+		case "4":
+			emit(uvmsim.Fig4(opt))
+		case "5":
+			emit(uvmsim.Fig5(opt))
+		case "6":
+			emit(uvmsim.Fig6(opt))
+		case "7":
+			emit(uvmsim.Fig7(opt))
+		case "6+7", "67":
+			rt, th := uvmsim.Fig6And7(opt)
+			emit(rt)
+			emit(th)
+		case "8":
+			emit(uvmsim.Fig8(opt))
+		case "multigpu":
+			// The paper's §VIII future-work extension.
+			emit(uvmsim.MultiGPU("ra", opt, 125))
+			emit(uvmsim.MultiGPU("sssp", opt, 125))
+		case "hints":
+			// Extension: profiled cudaMemAdvise-style hints vs Adaptive.
+			hintOpt := opt
+			if len(hintOpt.Workloads) == 0 {
+				hintOpt.Workloads = uvmsim.IrregularWorkloads()
+			}
+			emit(uvmsim.OracleHints(hintOpt, 125))
+		default:
+			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command uvmsim runs one workload under one configuration and prints
+// the resulting metrics.
+//
+// Usage:
+//
+//	uvmsim -workload sssp -policy adaptive -oversub 125 [-scale 1.0]
+//	       [-ts 8] [-p 8] [-replacement lfu] [-prefetcher tree]
+//	       [-granularity 2m|64k] [-spans] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"uvmsim"
+	"uvmsim/internal/cliutil"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/resultio"
+	"uvmsim/internal/workloads"
+)
+
+func main() {
+	var (
+		workload    = flag.String("workload", "sssp", "workload name: "+strings.Join(uvmsim.AllWorkloads(), ", "))
+		scale       = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		oversub     = flag.Uint64("oversub", 125, "working set as % of device memory (100 = fits)")
+		arch        = flag.String("arch", "pascal", "architecture preset: pascal, volta")
+		policy      = flag.String("policy", "adaptive", "migration policy: disabled, always, oversub, adaptive")
+		ts          = flag.Uint64("ts", 8, "static access counter threshold")
+		penalty     = flag.Uint64("p", 8, "multiplicative migration penalty")
+		replacement = flag.String("replacement", "", "override replacement policy: lru, lfu (default: paper pairing)")
+		prefetcher  = flag.String("prefetcher", "tree", "prefetcher: tree, none, sequential")
+		granularity = flag.String("granularity", "2m", "eviction granularity: 2m, 64k")
+		graphFile   = flag.String("graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
+		spans       = flag.Bool("spans", false, "print per-kernel timing spans")
+		csv         = flag.Bool("csv", false, "print metrics as CSV")
+		jsonOut     = flag.String("json", "", "write a self-describing JSON record of the run to this file")
+	)
+	flag.Parse()
+
+	pol, err := cliutil.ParsePolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := uvmsim.PresetConfig(*arch)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = cfg.WithPolicy(pol)
+	cfg.StaticThreshold = *ts
+	cfg.Penalty = *penalty
+	if rp, ok, err := cliutil.ParseReplacement(*replacement); err != nil {
+		fatal(err)
+	} else if ok {
+		cfg.Replacement = rp
+	}
+	if cfg.Prefetcher, err = cliutil.ParsePrefetcher(*prefetcher); err != nil {
+		fatal(err)
+	}
+	if cfg.EvictionGranularity, err = cliutil.ParseGranularity(*granularity); err != nil {
+		fatal(err)
+	}
+
+	known := false
+	for _, w := range uvmsim.AllWorkloads() {
+		if w == *workload {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fatal(fmt.Errorf("unknown workload %q (have %s)", *workload, strings.Join(uvmsim.AllWorkloads(), ", ")))
+	}
+	var b *uvmsim.Workload
+	if *graphFile != "" {
+		b, err = buildFromGraphFile(*workload, *graphFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		b = uvmsim.BuildWorkload(*workload, *scale)
+	}
+	cfg = cfg.WithOversubscription(b.WorkingSet(), *oversub)
+
+	class := "irregular"
+	if b.Regular {
+		class = "regular"
+	}
+	fmt.Printf("workload=%s (%s) ws=%s capacity=%s policy=%v ts=%d p=%d replacement=%v prefetcher=%v\n",
+		b.Name, class, memunits.HumanBytes(b.WorkingSet()),
+		memunits.HumanBytes(cfg.DeviceMemBytes), cfg.Policy, cfg.StaticThreshold,
+		cfg.Penalty, cfg.Replacement, cfg.Prefetcher)
+
+	res := uvmsim.Run(b, cfg)
+	c := res.Counters
+	if *csv {
+		fmt.Println("metric,value")
+		for _, kv := range [][2]interface{}{
+			{"cycles", c.Cycles}, {"near_accesses", c.NearAccesses},
+			{"remote_reads", c.RemoteReads}, {"remote_writes", c.RemoteWrites},
+			{"far_faults", c.FarFaults}, {"fault_batches", c.FaultBatches},
+			{"migrated_pages", c.MigratedPages}, {"prefetched_pages", c.PrefetchedPages},
+			{"thrashed_pages", c.ThrashedPages}, {"evicted_pages", c.EvictedPages},
+			{"written_back_pages", c.WrittenBackPages},
+			{"tlb_hits", c.TLBHits}, {"tlb_misses", c.TLBMisses}, {"tlb_shootdowns", c.TLBShootdowns},
+			{"h2d_bytes", c.H2DBytes}, {"d2h_bytes", c.D2HBytes},
+			{"instructions", c.Instructions}, {"warps_retired", c.WarpsRetired},
+		} {
+			fmt.Printf("%s,%v\n", kv[0], kv[1])
+		}
+	} else {
+		fmt.Println(c.String())
+	}
+	if *spans {
+		for _, sp := range res.Spans {
+			fmt.Printf("kernel %-24s iter %2d  [%12d .. %12d]  %d cycles\n",
+				sp.Name, sp.Iter, sp.Start, sp.End, sp.End-sp.Start)
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := resultio.Write(f, resultio.FromResult(res, *scale, *oversub)); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+}
+
+// buildFromGraphFile loads an edge-list graph and instantiates bfs or
+// sssp over it.
+func buildFromGraphFile(workload, path string) (*uvmsim.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := workloads.ParseEdgeList(f)
+	if err != nil {
+		return nil, err
+	}
+	switch workload {
+	case "bfs":
+		return workloads.BFSOnGraph(g)
+	case "sssp":
+		return workloads.SSSPOnGraph(g, 40)
+	default:
+		return nil, fmt.Errorf("-graph only applies to bfs and sssp, not %q", workload)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uvmsim:", err)
+	os.Exit(2)
+}

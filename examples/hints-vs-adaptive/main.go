@@ -1,0 +1,66 @@
+// Hints vs Adaptive: reproduces the workflow the paper argues against
+// (§III-C) and compares it with the paper's programmer-agnostic policy.
+//
+// The manual workflow: profile the workload to find cold allocations,
+// then hard-pin them to host memory with cudaMemAdvise-style hints and
+// rerun. The Adaptive dynamic threshold reaches a similar placement with
+// no profiling and no source changes.
+//
+//	go run ./examples/hints-vs-adaptive [-workload bfs] [-scale 0.4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"uvmsim"
+	"uvmsim/internal/experiments"
+)
+
+func main() {
+	workload := flag.String("workload", "bfs", "irregular workload to study")
+	scale := flag.Float64("scale", 0.4, "workload scale factor")
+	flag.Parse()
+
+	opt := uvmsim.ExperimentOptions{Scale: *scale}
+
+	// Step 1 — the profiling pass a developer would need.
+	cold := experiments.ProfileColdAllocations(*workload, opt)
+	fmt.Printf("profiling %s: cold allocations = %v\n\n", *workload, cold)
+
+	// Step 2 — baseline, manually hinted, and Adaptive runs at 125%.
+	base := uvmsim.RunWorkload(*workload, *scale, 125, uvmsim.PolicyDisabled, uvmsim.DefaultConfig())
+
+	b := uvmsim.BuildWorkload(*workload, *scale)
+	cfg := uvmsim.DefaultConfig().WithOversubscription(b.WorkingSet(), 125)
+	s := uvmsim.New(b, cfg)
+	for _, a := range b.Space.Allocations() {
+		for _, name := range cold {
+			if a.Name == name {
+				s.Driver.Advise(a, uvmsim.AdvicePinHost)
+			}
+		}
+	}
+	hinted := s.Run()
+
+	acfg := uvmsim.DefaultConfig()
+	acfg.Penalty = 8
+	adaptive := uvmsim.RunWorkload(*workload, *scale, 125, uvmsim.PolicyAdaptive, acfg)
+
+	fmt.Printf("%-28s %14s %12s %14s\n", "configuration", "cycles", "normalized", "thrashedPages")
+	for _, row := range []struct {
+		name string
+		res  *uvmsim.Result
+	}{
+		{"baseline (first touch)", base},
+		{"baseline + profiled hints", hinted},
+		{"Adaptive (no hints)", adaptive},
+	} {
+		fmt.Printf("%-28s %14d %11.1f%% %14d\n",
+			row.name, row.res.Runtime(),
+			100*float64(row.res.Runtime())/float64(base.Runtime()),
+			row.res.Counters.ThrashedPages)
+	}
+	fmt.Println("\nThe hand-tuned hints need a profiling pass per input; the Adaptive")
+	fmt.Println("policy gets comparable placement automatically (paper §IV).")
+}

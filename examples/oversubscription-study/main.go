@@ -1,0 +1,45 @@
+// Oversubscription study: sweep the degree of memory oversubscription
+// for one regular and one irregular workload under the baseline policy,
+// reproducing the sensitivity analysis of the paper's Figure 1 — regular
+// applications degrade modestly (write-back bound) while irregular ones
+// fall off a cliff (thrash bound).
+//
+//	go run ./examples/oversubscription-study [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"uvmsim"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale factor")
+	flag.Parse()
+
+	points := []uint64{100, 110, 125, 150}
+	for _, workload := range []string{"fdtd", "ra"} {
+		kind := "irregular"
+		if uvmsim.IsRegular(workload) {
+			kind = "regular"
+		}
+		fmt.Printf("=== %s (%s) ===\n", workload, kind)
+		fmt.Printf("%-10s %14s %12s %14s %14s\n", "oversub", "cycles", "normalized", "thrashedPages", "writtenBack")
+
+		var base uint64
+		for _, pct := range points {
+			res := uvmsim.RunWorkload(workload, *scale, pct, uvmsim.PolicyDisabled, uvmsim.DefaultConfig())
+			if pct == 100 {
+				base = res.Runtime()
+			}
+			fmt.Printf("%9d%% %14d %11.2fx %14d %14d\n",
+				pct, res.Runtime(), float64(res.Runtime())/float64(base),
+				res.Counters.ThrashedPages, res.Counters.WrittenBackPages)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how the irregular workload degrades by a much larger factor at the")
+	fmt.Println("same oversubscription level — the page-thrashing problem the Adaptive")
+	fmt.Println("policy addresses (see examples/policy-comparison).")
+}

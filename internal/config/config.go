@@ -1,0 +1,302 @@
+// Package config defines the simulated-system configuration corresponding
+// to Table I of the paper, with validation and derived quantities used by
+// the timing models.
+package config
+
+import (
+	"errors"
+	"fmt"
+
+	"uvmsim/internal/memunits"
+)
+
+// MigrationPolicy selects the delayed-migration scheme under evaluation.
+// These are the four schemes compared throughout §VI of the paper.
+type MigrationPolicy int
+
+const (
+	// PolicyDisabled is the state-of-the-art baseline: remote access is
+	// disabled and every first touch migrates data (with prefetching).
+	PolicyDisabled MigrationPolicy = iota
+	// PolicyAlways delays migration behind the static access-counter
+	// threshold from the start of execution (Volta behaviour).
+	PolicyAlways
+	// PolicyOversub enables the static threshold only once device memory
+	// becomes oversubscribed; before that it behaves like PolicyDisabled.
+	PolicyOversub
+	// PolicyAdaptive is the paper's contribution: the dynamic threshold of
+	// Equation 1, growing with memory occupancy before oversubscription
+	// and with round trips and the multiplicative penalty after it.
+	PolicyAdaptive
+)
+
+// String returns the name the paper uses for the policy.
+func (p MigrationPolicy) String() string {
+	switch p {
+	case PolicyDisabled:
+		return "Disabled"
+	case PolicyAlways:
+		return "Always"
+	case PolicyOversub:
+		return "Oversub"
+	case PolicyAdaptive:
+		return "Adaptive"
+	default:
+		return fmt.Sprintf("MigrationPolicy(%d)", int(p))
+	}
+}
+
+// Policies lists all four schemes in the order the paper plots them.
+func Policies() []MigrationPolicy {
+	return []MigrationPolicy{PolicyDisabled, PolicyAlways, PolicyOversub, PolicyAdaptive}
+}
+
+// ReplacementPolicy selects the page replacement scheme.
+type ReplacementPolicy int
+
+const (
+	// ReplaceLRU is the default 2MB least-recently-used queue.
+	ReplaceLRU ReplacementPolicy = iota
+	// ReplaceLFU is the paper's access-counter-driven simplified LFU with
+	// read-only priority and LRU fallback for uniform counters.
+	ReplaceLFU
+)
+
+// String returns the policy name.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case ReplaceLRU:
+		return "LRU"
+	case ReplaceLFU:
+		return "LFU"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// PrefetcherKind selects the hardware prefetcher model.
+type PrefetcherKind int
+
+const (
+	// PrefetchTree is the CUDA tree-based neighborhood prefetcher
+	// (default; §II-B).
+	PrefetchTree PrefetcherKind = iota
+	// PrefetchNone disables prefetching: only the faulting 64KB basic
+	// block migrates (ablation).
+	PrefetchNone
+	// PrefetchSequential prefetches the next basic block after the
+	// faulting one (ablation; Zheng et al. style locality prefetch).
+	PrefetchSequential
+)
+
+// String returns the prefetcher name.
+func (p PrefetcherKind) String() string {
+	switch p {
+	case PrefetchTree:
+		return "Tree"
+	case PrefetchNone:
+		return "None"
+	case PrefetchSequential:
+		return "Sequential"
+	default:
+		return fmt.Sprintf("PrefetcherKind(%d)", int(p))
+	}
+}
+
+// Config mirrors Table I. All latencies are in GPU core cycles unless
+// stated otherwise.
+type Config struct {
+	// GPU architecture (GeForce GTX 1080 Ti, Pascal-like).
+	NumSMs        int    // streaming multiprocessors
+	CoresPerSM    int    // CUDA cores per SM (occupancy model only)
+	CoreClockMHz  uint64 // GPU core clock
+	MaxCTAsPerSM  int    // max resident thread blocks per SM
+	MaxWarpsPerSM int    // max resident warps per SM
+	WarpSize      int    // threads per warp
+
+	// Memory system.
+	PageWalkLatency uint64 // page table walk, core cycles
+	// TLBEntries sizes the shared GMMU TLB (4KB translations, LRU). A
+	// miss pays PageWalkLatency; evictions shoot down entries. Zero
+	// disables translation modelling.
+	TLBEntries     int
+	DRAMLatency    uint64 // local DRAM access, core cycles
+	DeviceMemBytes uint64 // device memory capacity (controls oversubscription)
+
+	// CPU-GPU interconnect (PCIe 3.0 16x).
+	PCIeLatency       uint64  // one-way transfer initiation latency, core cycles
+	PCIeBytesPerCycle float64 // per-direction bandwidth in bytes per core cycle
+	PCIeHeaderBytes   uint64  // per-transaction overhead for small remote accesses
+	// RemoteWirePenalty scales the wire occupancy of zero-copy
+	// transactions relative to bulk DMA: fine-grained remote access is
+	// bound by the endpoint's outstanding-request limit, reaching only a
+	// fraction of link bandwidth (~1/3 on PCIe 3.0 x16).
+	RemoteWirePenalty float64
+
+	// Remote zero-copy access.
+	RemoteAccessLatency uint64 // core cycles, on top of PCIe occupancy
+
+	// UVM driver model.
+	FarFaultLatencyMicros uint64 // fault batch handling latency, microseconds
+	EvictionGranularity   uint64 // bytes: 2MB (default) or 64KB
+	Replacement           ReplacementPolicy
+	Prefetcher            PrefetcherKind
+
+	// EvictionRecencyGuard protects chunks accessed within this many
+	// cycles from counter-based (LFU) eviction: freshly migrated blocks
+	// have not yet accumulated counts and would otherwise look cold and
+	// be evicted immediately (the classic LFU cold-start pathology).
+	// The guard is ignored when every candidate is recent, so it can
+	// never deadlock replacement. Zero disables it.
+	EvictionRecencyGuard uint64
+
+	// Delayed-migration heuristic.
+	Policy          MigrationPolicy
+	StaticThreshold uint64 // ts: static access counter threshold
+	Penalty         uint64 // p: multiplicative migration penalty
+	// WriteMigrates reproduces the Volta semantics where a write to a
+	// host-resident page migrates it immediately regardless of counters.
+	// It is forced off under PolicyAdaptive (see DESIGN.md §2).
+	WriteMigrates bool
+}
+
+// Default returns the boldface configuration of Table I: a Pascal-like
+// GTX 1080 Ti with tree prefetcher, 2MB LRU eviction, ts=8 and p=2,
+// first-touch migration policy and 12GB of device memory.
+func Default() Config {
+	return Config{
+		NumSMs:        28,
+		CoresPerSM:    128,
+		CoreClockMHz:  1481,
+		MaxCTAsPerSM:  32,
+		MaxWarpsPerSM: 64,
+		WarpSize:      32,
+
+		PageWalkLatency: 100,
+		TLBEntries:      512,
+		DRAMLatency:     100,
+		DeviceMemBytes:  12 << 30,
+
+		PCIeLatency:       100,
+		PCIeBytesPerCycle: 10.6, // ~15.75 GB/s effective at 1481 MHz
+		PCIeHeaderBytes:   24,
+		RemoteWirePenalty: 3,
+
+		RemoteAccessLatency: 200,
+
+		FarFaultLatencyMicros: 45,
+		EvictionGranularity:   memunits.ChunkSize,
+		Replacement:           ReplaceLRU,
+		Prefetcher:            PrefetchTree,
+		EvictionRecencyGuard:  200_000,
+
+		Policy:          PolicyDisabled,
+		StaticThreshold: 8,
+		Penalty:         2,
+		WriteMigrates:   true,
+	}
+}
+
+// FarFaultLatencyCycles converts the microsecond fault handling latency to
+// core cycles at the configured clock.
+func (c Config) FarFaultLatencyCycles() uint64 {
+	return c.FarFaultLatencyMicros * c.CoreClockMHz
+}
+
+// DevicePages returns the device memory capacity in 4KB pages.
+func (c Config) DevicePages() uint64 {
+	return c.DeviceMemBytes / memunits.PageSize
+}
+
+// WithPolicy returns a copy configured for the given migration policy,
+// applying the paper's pairing of replacement policies (§VI): LRU for the
+// Disabled baseline, the counter-driven LFU for the other three schemes,
+// and disabling immediate write migration under Adaptive.
+func (c Config) WithPolicy(p MigrationPolicy) Config {
+	c.Policy = p
+	if p == PolicyDisabled {
+		c.Replacement = ReplaceLRU
+	} else {
+		c.Replacement = ReplaceLFU
+	}
+	c.WriteMigrates = p != PolicyAdaptive
+	return c
+}
+
+// WithOversubscription sizes device memory so that a working set of
+// wsBytes occupies the given percentage of it. percent=125 reproduces the
+// paper's "125% oversubscription": capacity = wsBytes/1.25. percent<=100
+// means the working set fits (capacity rounds up); above 100 the capacity
+// rounds *down* to a whole number of eviction-granularity units so that
+// rounding can never erase the oversubscription pressure. At least two
+// units of capacity are always provided.
+func (c Config) WithOversubscription(wsBytes uint64, percent uint64) Config {
+	if percent == 0 {
+		panic("config: oversubscription percent must be positive")
+	}
+	capBytes := wsBytes * 100 / percent
+	gran := c.EvictionGranularity
+	if gran == 0 {
+		gran = memunits.ChunkSize
+	}
+	if percent > 100 {
+		capBytes = capBytes / gran * gran
+	} else {
+		capBytes = memunits.RoundUp(capBytes, gran)
+	}
+	if capBytes < 2*gran {
+		capBytes = 2 * gran
+	}
+	c.DeviceMemBytes = capBytes
+	return c
+}
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first problem found.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return errors.New("config: NumSMs must be positive")
+	case c.CoreClockMHz == 0:
+		return errors.New("config: CoreClockMHz must be positive")
+	case c.MaxWarpsPerSM <= 0:
+		return errors.New("config: MaxWarpsPerSM must be positive")
+	case c.MaxCTAsPerSM <= 0:
+		return errors.New("config: MaxCTAsPerSM must be positive")
+	case c.WarpSize <= 0 || c.WarpSize > 32:
+		return fmt.Errorf("config: WarpSize %d out of range (1..32)", c.WarpSize)
+	case c.DeviceMemBytes < memunits.ChunkSize:
+		return fmt.Errorf("config: DeviceMemBytes %d smaller than one 2MB chunk", c.DeviceMemBytes)
+	case c.DeviceMemBytes%memunits.PageSize != 0:
+		return errors.New("config: DeviceMemBytes must be page aligned")
+	case c.TLBEntries < 0:
+		return errors.New("config: TLBEntries must be non-negative")
+	case c.PCIeBytesPerCycle <= 0:
+		return errors.New("config: PCIeBytesPerCycle must be positive")
+	case c.RemoteWirePenalty < 1:
+		return errors.New("config: RemoteWirePenalty must be at least 1")
+	case c.StaticThreshold == 0:
+		return errors.New("config: StaticThreshold must be at least 1")
+	case c.Penalty == 0:
+		return errors.New("config: Penalty must be at least 1")
+	}
+	if c.EvictionGranularity != memunits.ChunkSize && c.EvictionGranularity != memunits.BlockSize {
+		return fmt.Errorf("config: EvictionGranularity %d must be 2MB or 64KB", c.EvictionGranularity)
+	}
+	switch c.Policy {
+	case PolicyDisabled, PolicyAlways, PolicyOversub, PolicyAdaptive:
+	default:
+		return fmt.Errorf("config: unknown migration policy %d", int(c.Policy))
+	}
+	switch c.Replacement {
+	case ReplaceLRU, ReplaceLFU:
+	default:
+		return fmt.Errorf("config: unknown replacement policy %d", int(c.Replacement))
+	}
+	switch c.Prefetcher {
+	case PrefetchTree, PrefetchNone, PrefetchSequential:
+	default:
+		return fmt.Errorf("config: unknown prefetcher %d", int(c.Prefetcher))
+	}
+	return nil
+}

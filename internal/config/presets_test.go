@@ -1,0 +1,56 @@
+package config
+
+import "testing"
+
+func TestPresetsValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestPresetPascalIsDefault(t *testing.T) {
+	c, err := Preset("pascal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != Default() {
+		t.Fatal("pascal preset diverged from Default()")
+	}
+}
+
+func TestPresetVolta(t *testing.T) {
+	c, err := Preset("Volta") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSMs != 80 || c.CoreClockMHz != 1530 || c.DeviceMemBytes != 16<<30 {
+		t.Fatalf("volta preset wrong: %+v", c)
+	}
+	if c.TLBEntries <= Default().TLBEntries {
+		t.Fatal("volta TLB not larger than pascal")
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("turing"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetNamesSorted(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 2 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+}

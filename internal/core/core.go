@@ -1,0 +1,105 @@
+// Package core wires the GPU model, the UVM driver and a workload into a
+// complete simulation: kernels launch sequentially with device
+// synchronization between them (the cudaDeviceSynchronize model of the
+// benchmarks), and the run produces a stats report plus per-kernel
+// timing spans.
+package core
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/gpu"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/uvm"
+	"uvmsim/internal/workloads"
+)
+
+// eventBudget bounds any single simulation run; exceeding it means a
+// model livelock and panics loudly rather than hanging.
+const eventBudget = 2_000_000_000
+
+// KernelSpan records one kernel launch's window.
+type KernelSpan struct {
+	Name  string
+	Iter  int // logical iteration (1-based)
+	Start sim.Cycle
+	End   sim.Cycle
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Workload string
+	Config   config.Config
+	Counters stats.Counters
+	Spans    []KernelSpan
+}
+
+// Runtime returns the total kernel execution time in cycles.
+func (r *Result) Runtime() uint64 { return r.Counters.Cycles }
+
+// Simulator couples one built workload with one configuration.
+type Simulator struct {
+	Engine *sim.Engine
+	Driver *uvm.Driver
+	GPU    *gpu.GPU
+	built  *workloads.Built
+	cfg    config.Config
+}
+
+// New creates a simulator for the workload under the configuration.
+func New(b *workloads.Built, cfg config.Config) *Simulator {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	eng := sim.NewEngine()
+	eng.SetEventBudget(eventBudget)
+	drv := uvm.New(eng, cfg, b.Space)
+	g := gpu.New(eng, cfg, drv, drv.Stats())
+	return &Simulator{Engine: eng, Driver: drv, GPU: g, built: b, cfg: cfg}
+}
+
+// SetObserver installs a driver access observer (tracing).
+func (s *Simulator) SetObserver(obs uvm.AccessObserver) { s.Driver.SetObserver(obs) }
+
+// Run executes every kernel in order and returns the result. It panics
+// if the memory subsystem fails to quiesce (a model deadlock) or if the
+// stats invariants do not hold.
+func (s *Simulator) Run() *Result {
+	res := &Result{Workload: s.built.Name, Config: s.cfg}
+	for i, k := range s.built.Kernels {
+		start := s.Engine.Now()
+		end := s.GPU.RunSync(k)
+		res.Spans = append(res.Spans, KernelSpan{
+			Name: k.Name, Iter: s.built.IterOf[i], Start: start, End: end,
+		})
+	}
+	// Drain in-flight migrations (prefetches may outlive the last warp).
+	s.Engine.Run()
+	if s.Driver.PendingWork() {
+		panic(fmt.Sprintf("core: %s did not quiesce (stuck migrations)", s.built.Name))
+	}
+	s.Driver.Finalize()
+	res.Counters = *s.Driver.Stats()
+	res.Counters.Cycles = uint64(s.Engine.Now())
+	if err := res.Counters.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %s: %v", s.built.Name, err))
+	}
+	return res
+}
+
+// Run builds and runs a workload in one step.
+func Run(b *workloads.Built, cfg config.Config) *Result {
+	return New(b, cfg).Run()
+}
+
+// RunWorkload is the experiment-harness entry point: it builds the named
+// workload at the given scale, sizes device memory so the working set is
+// oversubPercent of capacity (100 = fits exactly), applies the migration
+// policy (with the paper's replacement-policy pairing), and runs.
+func RunWorkload(name string, scale float64, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) *Result {
+	b := workloads.MustGet(name)(scale)
+	cfg := base.WithPolicy(pol).WithOversubscription(b.WorkingSet(), oversubPercent)
+	return Run(b, cfg)
+}

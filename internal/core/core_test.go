@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/uvm"
+	"uvmsim/internal/workloads"
+)
+
+const testScale = 0.15
+
+func run(t *testing.T, name string, percent uint64, pol config.MigrationPolicy) *Result {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Penalty = 8 // the paper's Fig. 6 setting
+	return RunWorkload(name, testScale, percent, pol, cfg)
+}
+
+// Every workload must complete under every policy at 100% and 125%
+// oversubscription with valid stats — the core integration matrix.
+func TestAllWorkloadsAllPoliciesComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix is slow")
+	}
+	for _, name := range workloads.Names() {
+		for _, pol := range config.Policies() {
+			for _, pct := range []uint64{100, 125} {
+				name, pol, pct := name, pol, pct
+				t.Run(name+"/"+pol.String()+"/"+itoa(pct), func(t *testing.T) {
+					res := run(t, name, pct, pol)
+					if res.Runtime() == 0 {
+						t.Fatal("zero runtime")
+					}
+					if res.Counters.WarpsRetired == 0 {
+						t.Fatal("no warps retired")
+					}
+					if len(res.Spans) == 0 {
+						t.Fatal("no kernel spans")
+					}
+					for i := 1; i < len(res.Spans); i++ {
+						if res.Spans[i].Start < res.Spans[i-1].End {
+							t.Fatal("kernel spans overlap (no device sync)")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 100 {
+		return "100"
+	}
+	return "125"
+}
+
+func TestOversubscriptionLatchesOnlyWhenNeeded(t *testing.T) {
+	fit := run(t, "fdtd", 100, config.PolicyDisabled)
+	if fit.Counters.EvictedPages != 0 {
+		t.Fatalf("100%% run evicted %d pages", fit.Counters.EvictedPages)
+	}
+	over := run(t, "fdtd", 125, config.PolicyDisabled)
+	if over.Counters.EvictedPages == 0 {
+		t.Fatal("125% run never evicted")
+	}
+	if over.Runtime() <= fit.Runtime() {
+		t.Fatalf("oversubscription did not slow fdtd: %d vs %d", over.Runtime(), fit.Runtime())
+	}
+}
+
+func TestBackpropHasNoThrash(t *testing.T) {
+	for _, pol := range config.Policies() {
+		res := run(t, "backprop", 125, pol)
+		if res.Counters.ThrashedPages != 0 {
+			t.Fatalf("backprop thrashed %d pages under %v", res.Counters.ThrashedPages, pol)
+		}
+	}
+}
+
+func TestAdaptiveMatchesBaselineWhenFits(t *testing.T) {
+	// Paper Fig. 5: under no oversubscription Adaptive is equivalent to
+	// first-touch migration. Allow 10% slack for second-order effects.
+	for _, name := range []string{"fdtd", "bfs"} {
+		base := run(t, name, 100, config.PolicyDisabled)
+		adpt := run(t, name, 100, config.PolicyAdaptive)
+		ratio := float64(adpt.Runtime()) / float64(base.Runtime())
+		if ratio > 1.10 {
+			t.Errorf("%s: Adaptive/Baseline at 100%% = %.3f, want <= 1.10", name, ratio)
+		}
+	}
+}
+
+func TestAdaptiveReducesThrashForIrregular(t *testing.T) {
+	// Paper Fig. 7: Adaptive cuts page thrashing for irregular apps at
+	// 125% oversubscription. sssp needs near-paper scale for its edge
+	// arrays to stay block-sparse, so the small-scale assertion uses ra
+	// and bfs (the full-scale sweep lives in cmd/paperbench and the
+	// figure benchmarks).
+	for _, name := range []string{"ra", "bfs"} {
+		base := run(t, name, 125, config.PolicyDisabled)
+		adpt := run(t, name, 125, config.PolicyAdaptive)
+		if base.Counters.ThrashedPages == 0 {
+			t.Fatalf("%s baseline did not thrash; workload too small", name)
+		}
+		if adpt.Counters.ThrashedPages >= base.Counters.ThrashedPages {
+			t.Errorf("%s: Adaptive thrash %d not below baseline %d",
+				name, adpt.Counters.ThrashedPages, base.Counters.ThrashedPages)
+		}
+	}
+}
+
+func TestAdaptiveImprovesIrregularRuntime(t *testing.T) {
+	// Paper Fig. 6 headline: 22%-78% improvement for irregular apps at
+	// 125% oversubscription. At test scale we only assert improvement.
+	for _, name := range []string{"ra"} {
+		base := run(t, name, 125, config.PolicyDisabled)
+		adpt := run(t, name, 125, config.PolicyAdaptive)
+		if adpt.Runtime() >= base.Runtime() {
+			t.Errorf("%s: Adaptive runtime %d not below baseline %d",
+				name, adpt.Runtime(), base.Runtime())
+		}
+	}
+}
+
+func TestRegularUnaffectedByAdaptive(t *testing.T) {
+	// Paper Fig. 6: regular applications stay within a few percent.
+	for _, name := range []string{"backprop", "hotspot"} {
+		base := run(t, name, 125, config.PolicyDisabled)
+		adpt := run(t, name, 125, config.PolicyAdaptive)
+		ratio := float64(adpt.Runtime()) / float64(base.Runtime())
+		if ratio > 1.15 {
+			t.Errorf("%s: Adaptive/Baseline at 125%% = %.3f, want <= 1.15", name, ratio)
+		}
+	}
+}
+
+func TestObserverReceivesAccesses(t *testing.T) {
+	b := workloads.MustGet("fdtd")(testScale)
+	cfg := config.Default().WithOversubscription(b.WorkingSet(), 100)
+	s := New(b, cfg)
+	var count int
+	s.SetObserver(func(_ sim.Cycle, addr memunits.Addr, _ bool, _ uvm.AccessKind) {
+		count++
+		if b.Space.Find(addr) == nil {
+			t.Fatal("observer saw unmapped address")
+		}
+	})
+	s.Run()
+	if count == 0 {
+		t.Fatal("observer never called")
+	}
+}
+
+func TestResidencyNeverExceedsCapacity(t *testing.T) {
+	b := workloads.MustGet("sssp")(testScale)
+	cfg := config.Default().WithPolicy(config.PolicyAdaptive).WithOversubscription(b.WorkingSet(), 125)
+	s := New(b, cfg)
+	res := s.Run()
+	if s.Driver.ResidentPages() > s.Driver.Memory().TotalPages() {
+		t.Fatal("resident pages exceed capacity")
+	}
+	if res.Counters.MigratedPages < res.Counters.EvictedPages {
+		t.Fatalf("evicted %d > migrated %d", res.Counters.EvictedPages, res.Counters.MigratedPages)
+	}
+}
+
+func TestExtraWorkloadsRunEndToEnd(t *testing.T) {
+	for _, name := range workloads.ExtraNames() {
+		for _, pol := range []config.MigrationPolicy{config.PolicyDisabled, config.PolicyAdaptive} {
+			res := run(t, name, 125, pol)
+			if res.Counters.WarpsRetired == 0 {
+				t.Fatalf("%s/%v retired no warps", name, pol)
+			}
+		}
+	}
+}
+
+func TestRunWorkloadUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown workload did not panic")
+		}
+	}()
+	RunWorkload("nope", 1, 100, config.PolicyDisabled, config.Default())
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+)
+
+// TestRunsAreDeterministic asserts the repository-wide guarantee that
+// identical inputs produce bit-identical results: every counter, span
+// and timestamp must match across repeated runs. The experiment tables
+// and EXPERIMENTS.md rely on this.
+func TestRunsAreDeterministic(t *testing.T) {
+	for _, name := range []string{"sssp", "ra", "hotspot"} {
+		cfg := config.Default()
+		cfg.Penalty = 8
+		a := RunWorkload(name, 0.1, 125, config.PolicyAdaptive, cfg)
+		b := RunWorkload(name, 0.1, 125, config.PolicyAdaptive, cfg)
+		if a.Counters != b.Counters {
+			t.Fatalf("%s: counters differ across identical runs:\n%+v\n%+v", name, a.Counters, b.Counters)
+		}
+		if len(a.Spans) != len(b.Spans) {
+			t.Fatalf("%s: span counts differ", name)
+		}
+		for i := range a.Spans {
+			if a.Spans[i] != b.Spans[i] {
+				t.Fatalf("%s: span %d differs: %+v vs %+v", name, i, a.Spans[i], b.Spans[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package counters implements the paper's access-counter file (§IV,
+// "Access Counter Maintenance"): one 32-bit register per 64KB basic
+// block, with the low 27 bits counting accesses (both device-local and
+// remote, unlike Volta's remote-only hardware counters) and the top 5
+// bits counting round trips — the number of times the block has been
+// evicted from device memory.
+//
+// When either field of any block saturates, the corresponding field of
+// every block is halved rather than reset, preserving the relative view
+// of hotness across allocations.
+package counters
+
+// Bit widths of the two fields packed into the 32-bit register.
+const (
+	AccessBits    = 27
+	RoundTripBits = 5
+
+	MaxAccess    = 1<<AccessBits - 1    // 134217727
+	MaxRoundTrip = 1<<RoundTripBits - 1 // 31
+)
+
+// entry holds one block's unpacked register.
+type entry struct {
+	access uint32
+	trips  uint8
+}
+
+// File is the per-64KB-block counter store maintained by the driver.
+// Blocks are keyed by global basic-block number (virtual address / 64KB).
+// The zero value is not usable; call New.
+type File struct {
+	blocks map[uint64]*entry
+
+	// Saturation statistics, exposed for tests and reports.
+	accessHalvings uint64
+	tripHalvings   uint64
+	totalAccesses  uint64 // monotonic, never halved
+}
+
+// New returns an empty counter file.
+func New() *File {
+	return &File{blocks: make(map[uint64]*entry)}
+}
+
+func (f *File) get(block uint64) *entry {
+	e := f.blocks[block]
+	if e == nil {
+		e = &entry{}
+		f.blocks[block] = e
+	}
+	return e
+}
+
+// Access records one access to the block and returns the updated count.
+// On saturation every block's access count is halved first.
+func (f *File) Access(block uint64) uint64 {
+	f.totalAccesses++
+	e := f.get(block)
+	if e.access == MaxAccess {
+		f.halveAccess()
+	}
+	e.access++
+	return uint64(e.access)
+}
+
+// Count returns the block's current access count.
+func (f *File) Count(block uint64) uint64 {
+	if e := f.blocks[block]; e != nil {
+		return uint64(e.access)
+	}
+	return 0
+}
+
+// RoundTrips returns the block's eviction count r.
+func (f *File) RoundTrips(block uint64) uint64 {
+	if e := f.blocks[block]; e != nil {
+		return uint64(e.trips)
+	}
+	return 0
+}
+
+// NoteEviction records one round trip for the block. On saturation every
+// block's round-trip count is halved first.
+func (f *File) NoteEviction(block uint64) {
+	e := f.get(block)
+	if e.trips == MaxRoundTrip {
+		f.halveTrips()
+	}
+	e.trips++
+}
+
+// ResetAccess clears the access count of one block. The driver uses this
+// when an allocation is freed.
+func (f *File) ResetAccess(block uint64) {
+	if e := f.blocks[block]; e != nil {
+		e.access = 0
+	}
+}
+
+// halveAccess halves every block's access count (saturation policy).
+func (f *File) halveAccess() {
+	f.accessHalvings++
+	for _, e := range f.blocks {
+		e.access >>= 1
+	}
+}
+
+// halveTrips halves every block's round-trip count.
+func (f *File) halveTrips() {
+	f.tripHalvings++
+	for _, e := range f.blocks {
+		e.trips >>= 1
+	}
+}
+
+// TotalAccesses returns the monotonic number of recorded accesses
+// (unaffected by halving).
+func (f *File) TotalAccesses() uint64 { return f.totalAccesses }
+
+// Halvings reports how many access-field and trip-field halving sweeps
+// have occurred.
+func (f *File) Halvings() (access, trips uint64) {
+	return f.accessHalvings, f.tripHalvings
+}
+
+// Tracked returns the number of blocks with a register.
+func (f *File) Tracked() int { return len(f.blocks) }
+
+// SumCounts returns the total access count over a block range
+// [first, first+n). The LFU eviction policy uses this to score 2MB
+// chunks.
+func (f *File) SumCounts(first uint64, n uint64) uint64 {
+	var sum uint64
+	for b := first; b < first+n; b++ {
+		sum += f.Count(b)
+	}
+	return sum
+}
+
+// MaxRoundTrips returns the largest round-trip count over a block range.
+// The Adaptive policy pins a whole migration unit as hard as its most
+// thrashed block.
+func (f *File) MaxRoundTrips(first uint64, n uint64) uint64 {
+	var max uint64
+	for b := first; b < first+n; b++ {
+		if r := f.RoundTrips(b); r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -1,0 +1,137 @@
+package devmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/memunits"
+)
+
+func TestNewCapacity(t *testing.T) {
+	m := New(8 << 20)
+	if m.TotalPages() != 2048 {
+		t.Fatalf("TotalPages = %d, want 2048", m.TotalPages())
+	}
+	if m.AllocatedPages() != 0 || m.FreePages() != 2048 {
+		t.Fatal("new memory not empty")
+	}
+}
+
+func TestNewUnalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned capacity did not panic")
+		}
+	}()
+	New(memunits.PageSize + 1)
+}
+
+func TestNewZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAllocateRelease(t *testing.T) {
+	m := New(16 * memunits.PageSize)
+	m.Allocate(10)
+	if m.AllocatedPages() != 10 || m.FreePages() != 6 {
+		t.Fatalf("after alloc: allocated=%d free=%d", m.AllocatedPages(), m.FreePages())
+	}
+	if !m.CanAllocate(6) || m.CanAllocate(7) {
+		t.Fatal("CanAllocate wrong at boundary")
+	}
+	m.Release(4)
+	if m.AllocatedPages() != 6 {
+		t.Fatalf("after release: allocated=%d, want 6", m.AllocatedPages())
+	}
+	if m.PeakPages() != 10 {
+		t.Fatalf("peak = %d, want 10", m.PeakPages())
+	}
+}
+
+func TestAllocateOverCapacityPanics(t *testing.T) {
+	m := New(4 * memunits.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-capacity allocation did not panic")
+		}
+	}()
+	m.Allocate(5)
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	m := New(4 * memunits.PageSize)
+	m.Allocate(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("release underflow did not panic")
+		}
+	}()
+	m.Release(3)
+}
+
+func TestOccupancy(t *testing.T) {
+	m := New(8 * memunits.PageSize)
+	if m.Occupancy() != 0 {
+		t.Fatal("empty occupancy not 0")
+	}
+	m.Allocate(2)
+	if m.Occupancy() != 0.25 {
+		t.Fatalf("Occupancy = %v, want 0.25", m.Occupancy())
+	}
+	m.Allocate(6)
+	if m.Occupancy() != 1 {
+		t.Fatalf("Occupancy = %v, want 1", m.Occupancy())
+	}
+}
+
+func TestOversubscriptionLatch(t *testing.T) {
+	m := New(4 * memunits.PageSize)
+	if m.Oversubscribed() {
+		t.Fatal("fresh memory claims oversubscription")
+	}
+	m.NoteOversubscribed()
+	if !m.Oversubscribed() {
+		t.Fatal("latch did not stick")
+	}
+	// Releasing everything must not clear the latch (sticky regime).
+	m.Release(0)
+	if !m.Oversubscribed() {
+		t.Fatal("latch cleared by release")
+	}
+}
+
+// Property: any interleaving of valid allocate/release keeps
+// allocated+free == total and never exceeds capacity.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []int8) bool {
+		m := New(64 * memunits.PageSize)
+		for _, op := range ops {
+			n := uint64(op&0x0f) + 1
+			if op >= 0 {
+				if m.CanAllocate(n) {
+					m.Allocate(n)
+				}
+			} else if m.AllocatedPages() >= n {
+				m.Release(n)
+			}
+			if m.AllocatedPages()+m.FreePages() != m.TotalPages() {
+				return false
+			}
+			if m.AllocatedPages() > m.TotalPages() {
+				return false
+			}
+			if m.PeakPages() < m.AllocatedPages() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestProfileColdAllocations(t *testing.T) {
+	// sssp's cold structures are the read-only edge-sized arrays.
+	cold := ProfileColdAllocations("sssp", opts())
+	want := map[string]bool{"edges": true, "weights": true}
+	for _, n := range cold {
+		if n == "dist" || n == "mask" {
+			t.Fatalf("hot allocation %q classified cold", n)
+		}
+	}
+	found := 0
+	for _, n := range cold {
+		if want[n] {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Fatalf("cold set %v misses edges/weights", cold)
+	}
+	// fdtd is uniform: nothing is cold.
+	if cold := ProfileColdAllocations("fdtd", opts()); len(cold) != 0 {
+		t.Fatalf("fdtd cold set %v, want empty", cold)
+	}
+}
+
+func TestOracleHintsShape(t *testing.T) {
+	tab := OracleHints(Options{Scale: expScale, Workloads: []string{"bfs"}}, 125)
+	if len(tab.Rows) != 1 || len(tab.Columns) != 3 {
+		t.Fatalf("table shape wrong: %+v", tab)
+	}
+	hinted, _ := tab.Get("bfs", 1)
+	adaptive, _ := tab.Get("bfs", 2)
+	if hinted <= 0 || adaptive <= 0 {
+		t.Fatal("missing ratios")
+	}
+	// Both the profiled hints and Adaptive must improve on the baseline
+	// for an irregular workload under oversubscription.
+	if hinted >= 1.0 {
+		t.Errorf("profiled hints ratio %.3f, want < 1", hinted)
+	}
+	if adaptive >= 1.0 {
+		t.Errorf("adaptive ratio %.3f, want < 1", adaptive)
+	}
+}

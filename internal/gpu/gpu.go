@@ -1,0 +1,344 @@
+// Package gpu models the GPU's compute side: streaming multiprocessors
+// with bounded CTA/warp residency, warp issue with latency hiding, and a
+// 32-lane coalescer that merges a warp memory instruction into unique
+// 128B sector transactions.
+//
+// The model is deliberately coarse where the paper's results do not
+// depend on detail — there is no SASS pipeline — but it preserves the two
+// properties every figure rests on: massive thread-level parallelism
+// hides near-access latency, and it cannot hide far-fault latency, which
+// stalls warps for tens of thousands of cycles.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// MaxLanes is the number of threads (lanes) per warp.
+const MaxLanes = 32
+
+// Instr is one warp instruction. A zero NumAddrs means pure compute.
+type Instr struct {
+	// Compute is the number of issue cycles of arithmetic preceding the
+	// memory operation (or the whole instruction cost when NumAddrs is
+	// zero). Workload generators aggregate arithmetic here.
+	Compute uint64
+	// Write marks the memory operation as a store.
+	Write bool
+	// NumAddrs is the number of active lanes; Addrs[:NumAddrs] holds the
+	// per-lane byte addresses.
+	NumAddrs int
+	Addrs    [MaxLanes]memunits.Addr
+}
+
+// WarpProgram generates the instruction stream of one warp. Next fills
+// in instr and reports whether an instruction was produced; false means
+// the warp has retired.
+type WarpProgram interface {
+	Next(instr *Instr) bool
+}
+
+// Kernel describes one kernel launch.
+type Kernel struct {
+	Name        string
+	CTAs        int
+	WarpsPerCTA int
+	// NewWarp builds the program for warp w (0-based within the CTA) of
+	// CTA cta.
+	NewWarp func(cta, w int) WarpProgram
+}
+
+// Validate checks the kernel description.
+func (k Kernel) Validate() error {
+	if k.CTAs <= 0 {
+		return fmt.Errorf("gpu: kernel %q has %d CTAs", k.Name, k.CTAs)
+	}
+	if k.WarpsPerCTA <= 0 {
+		return fmt.Errorf("gpu: kernel %q has %d warps per CTA", k.Name, k.WarpsPerCTA)
+	}
+	if k.NewWarp == nil {
+		return fmt.Errorf("gpu: kernel %q has nil NewWarp", k.Name)
+	}
+	return nil
+}
+
+// MemoryBackend is the memory subsystem the GPU issues transactions to
+// (the UVM driver in full simulations; a stub in unit tests).
+type MemoryBackend interface {
+	// TryFastAccess serves the access synchronously when possible,
+	// returning the completion cycle.
+	TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool)
+	// Access serves the access asynchronously, invoking done at
+	// completion.
+	Access(addr memunits.Addr, write bool, done func())
+}
+
+// sm is one streaming multiprocessor's occupancy and issue state.
+type sm struct {
+	freeAt        sim.Cycle // issue resource: one instruction per cycle
+	residentCTAs  int
+	residentWarps int
+}
+
+// warp is the execution state of one resident warp.
+type warp struct {
+	prog    WarpProgram
+	sm      *sm
+	cta     *ctaState
+	sectors []sector
+	// outstanding async transactions for the current memory op.
+	outstanding int
+	// readyAt is the max completion cycle among fast-path sectors.
+	readyAt sim.Cycle
+	instr   Instr
+}
+
+type sector struct {
+	addr  memunits.Addr
+	write bool
+}
+
+// ctaState tracks retirement of one CTA.
+type ctaState struct {
+	warpsLeft int
+	sm        *sm
+}
+
+// GPU is the device compute model.
+type GPU struct {
+	eng *sim.Engine
+	cfg config.Config
+	mem MemoryBackend
+	st  *stats.Counters
+	sms []sm
+
+	// current kernel launch state
+	kernel       Kernel
+	nextCTA      int
+	retiredWarps int
+	totalWarps   int
+	onDone       func(finish sim.Cycle)
+	running      bool
+}
+
+// New creates a GPU attached to the engine and memory backend; st
+// receives instruction/warp counters (typically the driver's stats).
+func New(eng *sim.Engine, cfg config.Config, mem MemoryBackend, st *stats.Counters) *GPU {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("gpu: %v", err))
+	}
+	return &GPU{eng: eng, cfg: cfg, mem: mem, st: st, sms: make([]sm, cfg.NumSMs)}
+}
+
+// Launch starts a kernel; onDone fires when its last warp retires. Only
+// one kernel may be in flight (cudaDeviceSynchronize semantics).
+func (g *GPU) Launch(k Kernel, onDone func(finish sim.Cycle)) {
+	if err := k.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if g.running {
+		panic("gpu: kernel already running")
+	}
+	if k.WarpsPerCTA > g.cfg.MaxWarpsPerSM {
+		panic(fmt.Sprintf("gpu: CTA of %d warps exceeds SM capacity %d", k.WarpsPerCTA, g.cfg.MaxWarpsPerSM))
+	}
+	g.kernel = k
+	g.nextCTA = 0
+	g.retiredWarps = 0
+	g.totalWarps = k.CTAs * k.WarpsPerCTA
+	g.onDone = onDone
+	g.running = true
+	g.dispatchCTAs()
+}
+
+// RunSync launches the kernel and drives the engine until it completes,
+// returning the completion cycle.
+func (g *GPU) RunSync(k Kernel) sim.Cycle {
+	var finish sim.Cycle
+	done := false
+	g.Launch(k, func(at sim.Cycle) { done = true; finish = at })
+	g.eng.Run()
+	if !done {
+		panic(fmt.Sprintf("gpu: kernel %q did not complete (deadlocked warps?)", k.Name))
+	}
+	return finish
+}
+
+// dispatchCTAs fills SM slots with pending CTAs, round-robin.
+func (g *GPU) dispatchCTAs() {
+	for g.nextCTA < g.kernel.CTAs {
+		s := g.pickSM()
+		if s == nil {
+			return
+		}
+		cta := g.nextCTA
+		g.nextCTA++
+		s.residentCTAs++
+		s.residentWarps += g.kernel.WarpsPerCTA
+		cs := &ctaState{warpsLeft: g.kernel.WarpsPerCTA, sm: s}
+		for wi := 0; wi < g.kernel.WarpsPerCTA; wi++ {
+			w := &warp{prog: g.kernel.NewWarp(cta, wi), sm: s, cta: cs}
+			g.step(w)
+		}
+	}
+}
+
+// pickSM returns the least-loaded SM with room for one more CTA of the
+// current kernel, or nil.
+func (g *GPU) pickSM() *sm {
+	var best *sm
+	for i := range g.sms {
+		s := &g.sms[i]
+		if s.residentCTAs >= g.cfg.MaxCTAsPerSM {
+			continue
+		}
+		if s.residentWarps+g.kernel.WarpsPerCTA > g.cfg.MaxWarpsPerSM {
+			continue
+		}
+		if best == nil || s.residentWarps < best.residentWarps {
+			best = s
+		}
+	}
+	return best
+}
+
+// step advances a ready warp: it consumes pure-compute instructions in
+// bulk, reserves SM issue time, and schedules the next memory issue or
+// retirement.
+func (g *GPU) step(w *warp) {
+	var computeCycles uint64
+	for {
+		if !w.prog.Next(&w.instr) {
+			g.retire(w, computeCycles)
+			return
+		}
+		g.st.Instructions++
+		computeCycles += w.instr.Compute
+		if w.instr.NumAddrs > 0 {
+			g.st.MemInstructions++
+			break
+		}
+	}
+	// Coalesce lanes into unique 128B sectors now; the issue reservation
+	// includes one LSU cycle per sector, so divergent instructions pay
+	// for their fragmentation.
+	g.coalesce(w)
+	issue := computeCycles + uint64(len(w.sectors))
+	end := g.reserve(w.sm, issue)
+	write := w.instr.Write
+	g.eng.At(end, func() { g.issueMemory(w, write) })
+}
+
+// reserve occupies the SM issue port for cycles and returns the end time.
+func (g *GPU) reserve(s *sm, cycles uint64) sim.Cycle {
+	start := g.eng.Now()
+	if s.freeAt > start {
+		start = s.freeAt
+	}
+	end := start + sim.Cycle(cycles)
+	s.freeAt = end
+	return end
+}
+
+// coalesce fills w.sectors with the unique sector transactions of the
+// current instruction.
+func (g *GPU) coalesce(w *warp) {
+	w.sectors = w.sectors[:0]
+	n := w.instr.NumAddrs
+	if n > MaxLanes {
+		panic(fmt.Sprintf("gpu: instruction with %d lanes", n))
+	}
+	var bases [MaxLanes]memunits.Addr
+	for i := 0; i < n; i++ {
+		bases[i] = w.instr.Addrs[i] &^ (memunits.SectorSize - 1)
+	}
+	sort.Slice(bases[:n], func(a, b int) bool { return bases[a] < bases[b] })
+	for i := 0; i < n; i++ {
+		if i > 0 && bases[i] == bases[i-1] {
+			continue
+		}
+		w.sectors = append(w.sectors, sector{addr: bases[i], write: w.instr.Write})
+	}
+}
+
+// issueMemory sends the coalesced sectors to the memory backend and
+// arranges for the warp to resume when the last one completes.
+func (g *GPU) issueMemory(w *warp, write bool) {
+	w.outstanding = 0
+	w.readyAt = g.eng.Now()
+	for _, sec := range w.sectors {
+		if at, ok := g.mem.TryFastAccess(sec.addr, write); ok {
+			if at > w.readyAt {
+				w.readyAt = at
+			}
+			continue
+		}
+		w.outstanding++
+		g.mem.Access(sec.addr, write, func() { g.sectorDone(w) })
+	}
+	if w.outstanding == 0 {
+		g.resumeAt(w, w.readyAt)
+	}
+}
+
+// sectorDone is the completion callback for one async sector.
+func (g *GPU) sectorDone(w *warp) {
+	w.outstanding--
+	if w.outstanding < 0 {
+		panic("gpu: sector completion underflow")
+	}
+	if w.outstanding == 0 {
+		at := g.eng.Now()
+		if w.readyAt > at {
+			at = w.readyAt
+		}
+		g.resumeAt(w, at)
+	}
+}
+
+// resumeAt schedules the warp's next step.
+func (g *GPU) resumeAt(w *warp, at sim.Cycle) {
+	now := g.eng.Now()
+	if at <= now {
+		g.step(w)
+		return
+	}
+	g.eng.At(at, func() { g.step(w) })
+}
+
+// retire finishes a warp after its trailing compute cycles.
+func (g *GPU) retire(w *warp, trailingCompute uint64) {
+	finish := func() {
+		g.st.WarpsRetired++
+		g.retiredWarps++
+		w.sm.residentWarps--
+		w.cta.warpsLeft--
+		if w.cta.warpsLeft == 0 {
+			w.cta.sm.residentCTAs--
+			g.dispatchCTAs()
+		}
+		if g.retiredWarps == g.totalWarps {
+			g.finish()
+		}
+	}
+	if trailingCompute == 0 {
+		finish()
+		return
+	}
+	end := g.reserve(w.sm, trailingCompute)
+	g.eng.At(end, finish)
+}
+
+// finish completes the running kernel.
+func (g *GPU) finish() {
+	g.running = false
+	if g.onDone != nil {
+		g.onDone(g.eng.Now())
+	}
+}

@@ -1,0 +1,284 @@
+package gpu
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// stubMem is a controllable memory backend: addresses in slow are served
+// asynchronously with slowLatency; everything else completes via the
+// fast path after fastLatency.
+type stubMem struct {
+	eng         *sim.Engine
+	fastLatency sim.Cycle
+	slowLatency sim.Cycle
+	slow        map[memunits.Addr]bool
+	accesses    []memunits.Addr
+	writes      int
+}
+
+func (m *stubMem) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool) {
+	if m.slow[addr] {
+		return 0, false
+	}
+	m.record(addr, write)
+	return m.eng.Now() + m.fastLatency, true
+}
+
+func (m *stubMem) Access(addr memunits.Addr, write bool, done func()) {
+	m.record(addr, write)
+	m.eng.After(m.slowLatency, done)
+}
+
+func (m *stubMem) record(addr memunits.Addr, write bool) {
+	m.accesses = append(m.accesses, addr)
+	if write {
+		m.writes++
+	}
+}
+
+// listProgram replays a fixed instruction list.
+type listProgram struct {
+	instrs []Instr
+	pos    int
+}
+
+func (p *listProgram) Next(instr *Instr) bool {
+	if p.pos >= len(p.instrs) {
+		return false
+	}
+	*instr = p.instrs[p.pos]
+	p.pos++
+	return true
+}
+
+func testCfg() config.Config {
+	c := config.Default()
+	c.NumSMs = 2
+	c.MaxCTAsPerSM = 2
+	c.MaxWarpsPerSM = 4
+	return c
+}
+
+func newGPU(cfg config.Config) (*GPU, *stubMem, *stats.Counters, *sim.Engine) {
+	eng := sim.NewEngine()
+	eng.SetEventBudget(10_000_000)
+	mem := &stubMem{eng: eng, fastLatency: 100, slowLatency: 5000, slow: map[memunits.Addr]bool{}}
+	st := &stats.Counters{}
+	return New(eng, cfg, mem, st), mem, st, eng
+}
+
+func computeKernel(ctas, warps int, cyclesPerWarp uint64) Kernel {
+	return Kernel{
+		Name: "compute", CTAs: ctas, WarpsPerCTA: warps,
+		NewWarp: func(_, _ int) WarpProgram {
+			return &listProgram{instrs: []Instr{{Compute: cyclesPerWarp}}}
+		},
+	}
+}
+
+func memInstr(write bool, addrs ...memunits.Addr) Instr {
+	in := Instr{Write: write, NumAddrs: len(addrs)}
+	copy(in.Addrs[:], addrs)
+	return in
+}
+
+func TestPureComputeKernel(t *testing.T) {
+	g, _, st, _ := newGPU(testCfg())
+	finish := g.RunSync(computeKernel(1, 1, 500))
+	if finish != 500 {
+		t.Fatalf("finish = %d, want 500", finish)
+	}
+	if st.Instructions != 1 || st.WarpsRetired != 1 || st.MemInstructions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestComputeWarpsShareIssuePort(t *testing.T) {
+	// Two warps of 500 cycles on one SM serialize on the issue port.
+	cfg := testCfg()
+	cfg.NumSMs = 1
+	g, _, _, _ := newGPU(cfg)
+	finish := g.RunSync(computeKernel(1, 2, 500))
+	if finish != 1000 {
+		t.Fatalf("finish = %d, want 1000 (serialized issue)", finish)
+	}
+}
+
+func TestComputeCTAsSpreadAcrossSMs(t *testing.T) {
+	// Two 1-warp CTAs on two SMs run in parallel.
+	g, _, _, _ := newGPU(testCfg())
+	finish := g.RunSync(computeKernel(2, 1, 500))
+	if finish != 500 {
+		t.Fatalf("finish = %d, want 500 (parallel SMs)", finish)
+	}
+}
+
+func TestCoalescingMergesSectors(t *testing.T) {
+	g, mem, st, _ := newGPU(testCfg())
+	base := memunits.Addr(0x10000)
+	// 32 lanes within one 128B sector -> one transaction.
+	var addrs []memunits.Addr
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, base+uint64(i%128)) // all in one sector
+	}
+	k := Kernel{Name: "coal", CTAs: 1, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{memInstr(false, addrs...)}}
+	}}
+	g.RunSync(k)
+	if len(mem.accesses) != 1 {
+		t.Fatalf("accesses = %d, want 1 (coalesced)", len(mem.accesses))
+	}
+	if st.MemInstructions != 1 {
+		t.Fatalf("MemInstructions = %d, want 1", st.MemInstructions)
+	}
+}
+
+func TestDivergentLanesFragment(t *testing.T) {
+	g, mem, _, _ := newGPU(testCfg())
+	var addrs []memunits.Addr
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, memunits.Addr(0x10000+i*4096)) // 32 sectors
+	}
+	k := Kernel{Name: "div", CTAs: 1, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{memInstr(false, addrs...)}}
+	}}
+	g.RunSync(k)
+	if len(mem.accesses) != 32 {
+		t.Fatalf("accesses = %d, want 32 (divergent)", len(mem.accesses))
+	}
+}
+
+func TestWriteFlagPropagates(t *testing.T) {
+	g, mem, _, _ := newGPU(testCfg())
+	k := Kernel{Name: "w", CTAs: 1, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{memInstr(true, 0x20000)}}
+	}}
+	g.RunSync(k)
+	if mem.writes != 1 {
+		t.Fatalf("writes = %d, want 1", mem.writes)
+	}
+}
+
+func TestLatencyHidingAcrossWarps(t *testing.T) {
+	// Each warp: 1-cycle issue + 5000-cycle async memory. Eight warps on
+	// one SM must overlap their memory latencies: total far below
+	// 8 * 5000.
+	cfg := testCfg()
+	cfg.NumSMs = 1
+	cfg.MaxWarpsPerSM = 8
+	cfg.MaxCTAsPerSM = 8
+	g, mem, _, _ := newGPU(cfg)
+	for i := 0; i < 8; i++ {
+		mem.slow[memunits.Addr(0x30000+i*128)] = true
+	}
+	k := Kernel{Name: "hide", CTAs: 8, WarpsPerCTA: 1, NewWarp: func(cta, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{memInstr(false, memunits.Addr(0x30000+cta*128))}}
+	}}
+	finish := g.RunSync(k)
+	if finish >= 2*5000 {
+		t.Fatalf("finish = %d; memory latency not hidden (serial would be 40000)", finish)
+	}
+}
+
+func TestAsyncCompletionResumesWarp(t *testing.T) {
+	g, mem, st, _ := newGPU(testCfg())
+	addr := memunits.Addr(0x40000)
+	mem.slow[addr] = true
+	k := Kernel{Name: "async", CTAs: 1, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{
+			memInstr(false, addr),
+			{Compute: 10},
+		}}
+	}}
+	finish := g.RunSync(k)
+	// 1 cycle issue + 5000 async + 10 trailing compute.
+	if finish != 5011 {
+		t.Fatalf("finish = %d, want 5011", finish)
+	}
+	if st.WarpsRetired != 1 || st.Instructions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCTAWaves(t *testing.T) {
+	// 8 CTAs of 4 warps with capacity 2 SMs x 4 warps: runs in waves and
+	// must still retire everything.
+	g, _, st, _ := newGPU(testCfg())
+	k := computeKernel(8, 4, 50)
+	g.RunSync(k)
+	if st.WarpsRetired != 32 {
+		t.Fatalf("WarpsRetired = %d, want 32", st.WarpsRetired)
+	}
+}
+
+func TestManyWarpsManyInstrs(t *testing.T) {
+	g, mem, st, _ := newGPU(testCfg())
+	_ = mem
+	k := Kernel{Name: "mix", CTAs: 4, WarpsPerCTA: 2, NewWarp: func(cta, w int) WarpProgram {
+		var instrs []Instr
+		for i := 0; i < 10; i++ {
+			instrs = append(instrs, Instr{Compute: 5})
+			instrs = append(instrs, memInstr(i%2 == 0, memunits.Addr(0x50000+uint64(cta*1024+w*128+i))))
+		}
+		return &listProgram{instrs: instrs}
+	}}
+	g.RunSync(k)
+	if st.WarpsRetired != 8 {
+		t.Fatalf("WarpsRetired = %d, want 8", st.WarpsRetired)
+	}
+	if st.Instructions != 8*20 || st.MemInstructions != 8*10 {
+		t.Fatalf("instr counts: %d/%d", st.Instructions, st.MemInstructions)
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	bad := []Kernel{
+		{Name: "noctas", CTAs: 0, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram { return nil }},
+		{Name: "nowarps", CTAs: 1, WarpsPerCTA: 0, NewWarp: func(_, _ int) WarpProgram { return nil }},
+		{Name: "nofunc", CTAs: 1, WarpsPerCTA: 1},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("kernel %q validated", k.Name)
+		}
+	}
+}
+
+func TestDoubleLaunchPanics(t *testing.T) {
+	g, mem, _, _ := newGPU(testCfg())
+	mem.slow[0x60000] = true
+	k := Kernel{Name: "k", CTAs: 1, WarpsPerCTA: 1, NewWarp: func(_, _ int) WarpProgram {
+		return &listProgram{instrs: []Instr{memInstr(false, 0x60000)}}
+	}}
+	g.Launch(k, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("double launch did not panic")
+		}
+	}()
+	g.Launch(k, nil)
+}
+
+func TestOversizedCTAPanics(t *testing.T) {
+	g, _, _, _ := newGPU(testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized CTA did not panic")
+		}
+	}()
+	g.RunSync(computeKernel(1, 100, 1))
+}
+
+func TestSequentialKernelsAccumulateTime(t *testing.T) {
+	g, _, _, _ := newGPU(testCfg())
+	f1 := g.RunSync(computeKernel(1, 1, 100))
+	f2 := g.RunSync(computeKernel(1, 1, 100))
+	if f2 <= f1 {
+		t.Fatalf("second kernel finish %d not after first %d", f2, f1)
+	}
+}

@@ -1,0 +1,38 @@
+package memunits
+
+import "testing"
+
+// FuzzRoundAllocSize explores the CUDA size-rounding rule: the result
+// must dominate the request, stay 64KB-aligned, keep a power-of-two
+// block remainder, and decompose consistently.
+func FuzzRoundAllocSize(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(4<<20 + 168<<10))
+	f.Add(uint64(ChunkSize))
+	f.Add(uint64(ChunkSize + 1))
+	f.Add(uint64(1<<40 - 1))
+	f.Fuzz(func(t *testing.T, n uint64) {
+		n %= 1 << 44
+		r := RoundAllocSize(n)
+		if r < n {
+			t.Fatalf("RoundAllocSize(%d) = %d shrank", n, r)
+		}
+		if r%BlockSize != 0 {
+			t.Fatalf("RoundAllocSize(%d) = %d not 64KB aligned", n, r)
+		}
+		if rem := r % ChunkSize; rem != 0 {
+			blocks := rem / BlockSize
+			if blocks&(blocks-1) != 0 {
+				t.Fatalf("RoundAllocSize(%d) remainder %d blocks not a power of two", n, blocks)
+			}
+		}
+		var sum uint64
+		for _, c := range ChunkSizes(r) {
+			sum += c
+		}
+		if sum != r {
+			t.Fatalf("ChunkSizes(%d) sums to %d", r, sum)
+		}
+	})
+}

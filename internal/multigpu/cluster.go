@@ -1,0 +1,158 @@
+// Package multigpu implements the paper's proposed future work (§VIII):
+// running collaborative applications across a multi-GPU cluster and
+// using the dynamic-threshold heuristic as a per-GPU memory throttling
+// mechanism.
+//
+// A Cluster couples N GPU+driver replicas on one discrete-event engine.
+// Each kernel of a workload is split into contiguous CTA ranges, one per
+// GPU, and executed bulk-synchronously: all GPUs launch their share,
+// and the next kernel starts only after every GPU finishes (the barrier
+// of collaborative UVM applications). Every GPU has its own device
+// memory and its own PCIe link to host memory, so each driver's
+// Adaptive threshold responds to its *local* occupancy — the throttling
+// behaviour the paper wants to study.
+//
+// Host-side coherence between GPUs is not modelled: collaborative
+// workloads partition their writes, and the policies under study see
+// only access streams (see DESIGN.md §7).
+package multigpu
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/gpu"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+	"uvmsim/internal/uvm"
+	"uvmsim/internal/workloads"
+)
+
+// node is one GPU with its private UVM driver.
+type node struct {
+	drv *uvm.Driver
+	g   *gpu.GPU
+}
+
+// Cluster runs one workload across several GPUs.
+type Cluster struct {
+	eng   *sim.Engine
+	nodes []*node
+	built *workloads.Built
+	cfg   config.Config
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	// Cycles is the makespan: the cycle at which the last GPU finished
+	// the last kernel.
+	Cycles uint64
+	// PerGPU holds each GPU's driver counters.
+	PerGPU []stats.Counters
+}
+
+// TotalThrashedPages sums thrashing across GPUs.
+func (r *Result) TotalThrashedPages() uint64 {
+	var sum uint64
+	for i := range r.PerGPU {
+		sum += r.PerGPU[i].ThrashedPages
+	}
+	return sum
+}
+
+// TotalRemoteAccesses sums zero-copy traffic across GPUs.
+func (r *Result) TotalRemoteAccesses() uint64 {
+	var sum uint64
+	for i := range r.PerGPU {
+		sum += r.PerGPU[i].RemoteAccesses()
+	}
+	return sum
+}
+
+// New creates a cluster of nGPUs over the workload. cfg.DeviceMemBytes
+// is the per-GPU memory capacity.
+func New(b *workloads.Built, cfg config.Config, nGPUs int) *Cluster {
+	if nGPUs < 1 {
+		panic(fmt.Sprintf("multigpu: %d GPUs", nGPUs))
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("multigpu: %v", err))
+	}
+	eng := sim.NewEngine()
+	eng.SetEventBudget(4_000_000_000)
+	c := &Cluster{eng: eng, built: b, cfg: cfg}
+	for i := 0; i < nGPUs; i++ {
+		drv := uvm.New(eng, cfg, b.Space)
+		c.nodes = append(c.nodes, &node{drv: drv, g: gpu.New(eng, cfg, drv, drv.Stats())})
+	}
+	return c
+}
+
+// splitKernel returns GPU idx's contiguous CTA share of k, or ok=false
+// when the GPU has no work for this kernel.
+func splitKernel(k gpu.Kernel, nGPUs, idx int) (gpu.Kernel, bool) {
+	per := (k.CTAs + nGPUs - 1) / nGPUs
+	lo := idx * per
+	hi := lo + per
+	if hi > k.CTAs {
+		hi = k.CTAs
+	}
+	if lo >= hi {
+		return gpu.Kernel{}, false
+	}
+	return gpu.Kernel{
+		Name:        fmt.Sprintf("%s@gpu%d", k.Name, idx),
+		CTAs:        hi - lo,
+		WarpsPerCTA: k.WarpsPerCTA,
+		NewWarp: func(cta, w int) gpu.WarpProgram {
+			return k.NewWarp(lo+cta, w)
+		},
+	}, true
+}
+
+// Run executes the workload bulk-synchronously and returns the result.
+func (c *Cluster) Run() *Result {
+	for _, k := range c.built.Kernels {
+		remaining := 0
+		for idx, n := range c.nodes {
+			sub, ok := splitKernel(k, len(c.nodes), idx)
+			if !ok {
+				continue
+			}
+			remaining++
+			n.g.Launch(sub, func(sim.Cycle) { remaining-- })
+		}
+		c.eng.Run()
+		if remaining != 0 {
+			panic(fmt.Sprintf("multigpu: kernel %s left %d GPUs unfinished", k.Name, remaining))
+		}
+	}
+	c.eng.Run() // drain trailing prefetch transfers
+	res := &Result{Cycles: uint64(c.eng.Now())}
+	for _, n := range c.nodes {
+		if n.drv.PendingWork() {
+			panic("multigpu: driver did not quiesce")
+		}
+		if err := n.drv.CheckConsistency(); err != nil {
+			panic(fmt.Sprintf("multigpu: %v", err))
+		}
+		n.drv.Finalize()
+		st := *n.drv.Stats()
+		st.Cycles = res.Cycles
+		res.PerGPU = append(res.PerGPU, st)
+	}
+	return res
+}
+
+// RunWorkload is the convenience entry point: it builds the named
+// workload, gives each of nGPUs capacity so that the *per-GPU share* of
+// the working set is oversubPercent of its memory, applies the policy,
+// and runs. With contiguous CTA splitting each GPU's hot footprint is
+// roughly workingSet/nGPUs, so oversubscription pressure per GPU stays
+// comparable across cluster sizes.
+func RunWorkload(name string, scale float64, nGPUs int, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) *Result {
+	b := workloads.MustGet(name)(scale)
+	share := b.WorkingSet() / uint64(nGPUs)
+	cfg := base.WithPolicy(pol).WithOversubscription(share, oversubPercent)
+	return New(b, cfg, nGPUs).Run()
+}

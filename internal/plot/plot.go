@@ -1,0 +1,171 @@
+// Package plot renders experiment data as plain-text graphics: scatter
+// plots for the access-pattern figures (page vs. time, Fig. 3) and
+// horizontal bar charts for the normalized-runtime figures. The output
+// needs nothing but a monospace terminal, keeping the whole toolchain
+// dependency-free.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one scatter sample.
+type Point struct {
+	X, Y float64
+	// Mark selects the glyph ('.' when zero).
+	Mark rune
+}
+
+// Scatter renders points into a w x h character grid with min/max axis
+// annotations. Later points overwrite earlier ones on collision.
+func Scatter(title string, pts []Point, w, h int) string {
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = make([]rune, w)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, p := range pts {
+		c := int((p.X - minX) / spanX * float64(w-1))
+		r := h - 1 - int((p.Y-minY)/spanY*float64(h-1))
+		mark := p.Mark
+		if mark == 0 {
+			mark = '.'
+		}
+		grid[r][c] = mark
+	}
+	topLabel := fmt.Sprintf("%.3g", maxY)
+	botLabel := fmt.Sprintf("%.3g", minY)
+	pad := len(topLabel)
+	if len(botLabel) > pad {
+		pad = len(botLabel)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", pad, topLabel)
+		}
+		if r == h-1 {
+			label = fmt.Sprintf("%*s", pad, botLabel)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.WriteString(string(grid[r]))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", pad))
+	b.WriteString(" +")
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", pad+2))
+	xl := fmt.Sprintf("%.3g", minX)
+	xr := fmt.Sprintf("%.3g", maxX)
+	gap := w - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s%s%s\n", xl, strings.Repeat(" ", gap), xr)
+	return b.String()
+}
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders horizontal bars scaled to the maximum value, annotating
+// each with its value as a percentage (values are ratios, 1.0 = 100%).
+func Bars(title string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	if len(bars) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	var max float64
+	labelW := 0
+	for _, bar := range bars {
+		if bar.Value > max {
+			max = bar.Value
+		}
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, bar := range bars {
+		n := int(bar.Value / max * float64(width))
+		if n == 0 && bar.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %7.2f%%\n",
+			labelW, bar.Label, strings.Repeat("#", n), strings.Repeat(" ", width-n), bar.Value*100)
+	}
+	return b.String()
+}
+
+// NamedRow is one row of a table to render.
+type NamedRow struct {
+	Label  string
+	Values []float64
+}
+
+// GroupedBars renders a workload x scheme table as grouped bar charts,
+// one group per row (the callers adapt report.Table into cols/rows).
+func GroupedBars(title string, cols []string, rows []NamedRow, width int) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	for _, row := range rows {
+		n := len(row.Values)
+		if n > len(cols) {
+			n = len(cols)
+		}
+		bars := make([]Bar, n)
+		for i := 0; i < n; i++ {
+			bars[i] = Bar{Label: cols[i], Value: row.Values[i]}
+		}
+		b.WriteString(Bars(row.Label, bars, width))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

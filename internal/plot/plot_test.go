@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0, Mark: 'r'},
+		{X: 100, Y: 50, Mark: 'w'},
+		{X: 50, Y: 25},
+	}
+	out := Scatter("pattern", pts, 40, 10)
+	if !strings.Contains(out, "pattern") {
+		t.Fatal("missing title")
+	}
+	for _, mark := range []string{"r", "w", "."} {
+		if !strings.Contains(out, mark) {
+			t.Fatalf("missing mark %q:\n%s", mark, out)
+		}
+	}
+	// Axis labels for both extremes.
+	if !strings.Contains(out, "50") || !strings.Contains(out, "100") {
+		t.Fatalf("missing axis labels:\n%s", out)
+	}
+	// Grid height: title + h rows + axis + x labels.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+1+1 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestScatterCornerPlacement(t *testing.T) {
+	// A min point must land bottom-left, a max point top-right.
+	out := Scatter("t", []Point{{X: 0, Y: 0, Mark: 'a'}, {X: 1, Y: 1, Mark: 'b'}}, 20, 5)
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	bottom := lines[5]
+	if !strings.Contains(top, "b") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+	if !strings.Contains(bottom, "a") {
+		t.Fatalf("min point not on bottom row:\n%s", out)
+	}
+	if strings.Index(bottom, "a") >= strings.Index(top, "b") {
+		t.Fatalf("x ordering wrong:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter("empty", nil, 20, 5)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty scatter:\n%s", out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// All points identical: must not divide by zero.
+	out := Scatter("t", []Point{{X: 5, Y: 5}, {X: 5, Y: 5}}, 20, 5)
+	if !strings.Contains(out, ".") {
+		t.Fatalf("degenerate scatter lost points:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("fig", []Bar{
+		{Label: "Disabled", Value: 1.0},
+		{Label: "Adaptive", Value: 0.25},
+	}, 20)
+	if !strings.Contains(out, "Disabled") || !strings.Contains(out, "Adaptive") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "100.00%") || !strings.Contains(out, "25.00%") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+	// The full bar must be 4x the quarter bar.
+	lines := strings.Split(out, "\n")
+	full := strings.Count(lines[1], "#")
+	quarter := strings.Count(lines[2], "#")
+	if full != 20 || quarter != 5 {
+		t.Fatalf("bar lengths %d/%d, want 20/5:\n%s", full, quarter, out)
+	}
+}
+
+func TestBarsZeroAndTiny(t *testing.T) {
+	out := Bars("z", []Bar{{Label: "zero", Value: 0}, {Label: "tiny", Value: 0.001}, {Label: "big", Value: 1}}, 30)
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "#") != 0 {
+		t.Fatal("zero bar rendered")
+	}
+	if strings.Count(lines[2], "#") != 1 {
+		t.Fatal("tiny nonzero bar invisible")
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if !strings.Contains(Bars("e", nil, 10), "(no data)") {
+		t.Fatal("empty bars")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("Figure 6", []string{"Disabled", "Adaptive"}, []NamedRow{
+		{Label: "ra", Values: []float64{1.0, 0.13}},
+		{Label: "nw", Values: []float64{1.0, 0.49}},
+	}, 25)
+	for _, frag := range []string{"Figure 6", "ra", "nw", "Disabled", "Adaptive", "13.00%", "49.00%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package policy implements the delayed-migration threshold schemes the
+// paper compares (§VI): the first-touch baseline, the Volta-style static
+// access-counter threshold (from the start or only after
+// oversubscription), and the paper's contribution — the dynamic threshold
+// of Equation 1:
+//
+//	td = ts * allocatedPages/totalPages + 1   (no oversubscription)
+//	td = ts * (r + 1) * p                     (after oversubscription)
+//
+// A basic block migrates from host to device when its access count
+// reaches the threshold; below it, accesses are served remotely over the
+// interconnect (zero-copy). A threshold of 1 therefore means first-touch
+// migration, and larger thresholds pin the block progressively harder to
+// host memory.
+package policy
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+)
+
+// MemState is the snapshot of device-memory occupancy the threshold
+// depends on.
+type MemState struct {
+	// AllocatedPages is the number of currently resident device pages.
+	AllocatedPages uint64
+	// TotalPages is the device memory capacity in pages.
+	TotalPages uint64
+	// Oversubscribed reports whether the run has entered the
+	// oversubscription regime (sticky).
+	Oversubscribed bool
+}
+
+// Decider computes migration thresholds for one configured scheme.
+type Decider struct {
+	kind config.MigrationPolicy
+	ts   uint64 // static access counter threshold
+	p    uint64 // multiplicative migration penalty
+}
+
+// NewDecider builds a Decider from the simulation configuration.
+func NewDecider(cfg config.Config) *Decider {
+	if cfg.StaticThreshold == 0 || cfg.Penalty == 0 {
+		panic("policy: zero threshold or penalty")
+	}
+	return &Decider{kind: cfg.Policy, ts: cfg.StaticThreshold, p: cfg.Penalty}
+}
+
+// Kind returns the scheme this decider implements.
+func (d *Decider) Kind() config.MigrationPolicy { return d.kind }
+
+// Threshold returns the dynamic migration threshold td for a basic block
+// with the given round-trip count under the given memory state. It is
+// always at least 1.
+func (d *Decider) Threshold(mem MemState, roundTrips uint64) uint64 {
+	switch d.kind {
+	case config.PolicyDisabled:
+		return 1
+	case config.PolicyAlways:
+		return d.ts
+	case config.PolicyOversub:
+		if mem.Oversubscribed {
+			return d.ts
+		}
+		return 1
+	case config.PolicyAdaptive:
+		if mem.Oversubscribed {
+			return d.ts * (roundTrips + 1) * d.p
+		}
+		if mem.TotalPages == 0 {
+			return 1
+		}
+		return d.ts*mem.AllocatedPages/mem.TotalPages + 1
+	default:
+		panic(fmt.Sprintf("policy: unknown migration policy %v", d.kind))
+	}
+}
+
+// ShouldMigrate reports whether a block whose access counter has just
+// reached count must now migrate to device memory.
+func (d *Decider) ShouldMigrate(count uint64, mem MemState, roundTrips uint64) bool {
+	return count >= d.Threshold(mem, roundTrips)
+}
+
+// AllowsRemoteAccess reports whether the scheme ever serves accesses
+// remotely. The Disabled baseline has no remote path: every miss
+// triggers migration.
+func (d *Decider) AllowsRemoteAccess() bool {
+	return d.kind != config.PolicyDisabled
+}

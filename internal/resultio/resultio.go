@@ -1,0 +1,107 @@
+// Package resultio persists simulation results as JSON records and CSV
+// rows so sweeps can be post-processed outside the simulator (plotting,
+// regression tracking, archival). Records are self-describing: they
+// carry the full configuration alongside the measured counters.
+package resultio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/stats"
+)
+
+// FormatVersion identifies the record schema; bump on incompatible
+// changes.
+const FormatVersion = 1
+
+// Record is one archived simulation run.
+type Record struct {
+	Version  int    `json:"version"`
+	Workload string `json:"workload"`
+	// Scale and OversubPercent describe how the run was derived; zero
+	// when the caller sized things manually.
+	Scale          float64           `json:"scale,omitempty"`
+	OversubPercent uint64            `json:"oversubPercent,omitempty"`
+	Config         config.Config     `json:"config"`
+	Counters       stats.Counters    `json:"counters"`
+	Spans          []core.KernelSpan `json:"spans,omitempty"`
+}
+
+// FromResult builds a record from a finished run.
+func FromResult(res *core.Result, scale float64, oversubPercent uint64) *Record {
+	return &Record{
+		Version:        FormatVersion,
+		Workload:       res.Workload,
+		Scale:          scale,
+		OversubPercent: oversubPercent,
+		Config:         res.Config,
+		Counters:       res.Counters,
+		Spans:          res.Spans,
+	}
+}
+
+// Write emits the record as indented JSON.
+func Write(w io.Writer, rec *Record) error {
+	if rec.Version == 0 {
+		rec.Version = FormatVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// Read parses one record and validates its schema version and counters.
+func Read(r io.Reader) (*Record, error) {
+	var rec Record
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("resultio: %w", err)
+	}
+	if rec.Version != FormatVersion {
+		return nil, fmt.Errorf("resultio: unsupported record version %d (want %d)", rec.Version, FormatVersion)
+	}
+	if rec.Workload == "" {
+		return nil, fmt.Errorf("resultio: record missing workload")
+	}
+	if err := rec.Counters.Validate(); err != nil {
+		return nil, fmt.Errorf("resultio: %w", err)
+	}
+	return &rec, nil
+}
+
+// csvColumns is the flat metric schema shared by CSVHeader and CSVRow.
+var csvColumns = []string{
+	"workload", "policy", "scale", "oversubPercent", "cycles",
+	"nearAccesses", "remoteReads", "remoteWrites", "farFaults",
+	"faultBatches", "migratedPages", "prefetchedPages", "thrashedPages",
+	"evictedPages", "writtenBackPages", "tlbHits", "tlbMisses",
+	"tlbShootdowns", "h2dBytes", "d2hBytes", "instructions",
+	"warpsRetired",
+}
+
+// CSVHeader returns the header row for CSVRow records.
+func CSVHeader() string { return strings.Join(csvColumns, ",") }
+
+// CSVRow renders the record as one CSV line matching CSVHeader.
+func CSVRow(rec *Record) string {
+	c := rec.Counters
+	vals := []interface{}{
+		rec.Workload, rec.Config.Policy, rec.Scale, rec.OversubPercent, c.Cycles,
+		c.NearAccesses, c.RemoteReads, c.RemoteWrites, c.FarFaults,
+		c.FaultBatches, c.MigratedPages, c.PrefetchedPages, c.ThrashedPages,
+		c.EvictedPages, c.WrittenBackPages, c.TLBHits, c.TLBMisses,
+		c.TLBShootdowns, c.H2DBytes, c.D2HBytes, c.Instructions,
+		c.WarpsRetired,
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}

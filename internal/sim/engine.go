@@ -1,0 +1,133 @@
+// Package sim provides the discrete-event simulation engine used by every
+// timing model in the repository: a cycle-granular clock and a
+// deterministic min-heap event queue.
+//
+// All simulated time is expressed in GPU core cycles (uint64). Events
+// scheduled for the same cycle fire in FIFO order of scheduling, which
+// makes every simulation run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Cycle is a point in simulated time, measured in GPU core cycles.
+type Cycle = uint64
+
+// MaxCycle is the largest representable simulation time.
+const MaxCycle Cycle = math.MaxUint64
+
+// Event is a callback scheduled to run at a particular cycle.
+type Event func()
+
+// item is a scheduled event inside the queue.
+type item struct {
+	at  Cycle
+	seq uint64 // FIFO tie-breaker for events at the same cycle
+	fn  Event
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event simulator.
+//
+// The zero value is ready to use. Engine is not safe for concurrent use;
+// the entire simulation is single-threaded by design so that runs are
+// reproducible.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	budget uint64 // optional safety cap on fired events; 0 = unlimited
+}
+
+// NewEngine returns an empty engine positioned at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// SetEventBudget installs a safety limit on the total number of events the
+// engine will fire; Run panics when it is exceeded. A budget of 0 disables
+// the limit. Simulations use this to turn accidental livelock into a
+// loud failure instead of an infinite loop.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// Pending reports the number of scheduled-but-unfired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// (at < Now) panics: it always indicates a model bug.
+func (e *Engine) At(at Cycle, fn Event) {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (at=%d now=%d)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn Event) { e.At(e.now+delay, fn) }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.queue).(item)
+	e.now = it.at
+	e.fired++
+	if e.budget != 0 && e.fired > e.budget {
+		panic(fmt.Sprintf("sim: event budget %d exceeded at cycle %d", e.budget, e.now))
+	}
+	it.fn()
+	return true
+}
+
+// Run fires events until the queue drains and returns the final cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events whose timestamp is <= deadline, then advances the
+// clock to deadline (if it is later than the last event). It reports
+// whether any events remain pending beyond the deadline.
+func (e *Engine) RunUntil(deadline Cycle) bool {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return len(e.queue) > 0
+}

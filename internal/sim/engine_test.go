@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(); got != 0 {
+		t.Fatalf("empty run ended at cycle %d, want 0", got)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported true")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-cycle events fired out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var hits []Cycle
+	e.At(100, func() {
+		hits = append(hits, e.Now())
+		e.After(50, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 100 || hits[1] != 150 {
+		t.Fatalf("hits = %v, want [100 150]", hits)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil event did not panic")
+		}
+	}()
+	NewEngine().At(1, nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	pending := e.RunUntil(20)
+	if !pending {
+		t.Fatal("RunUntil(20) reported no pending events; event at 30 remains")
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+	if e.RunUntil(100) {
+		t.Fatal("RunUntil(100) reported pending events")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want clock advanced to deadline 100", e.Now())
+	}
+}
+
+func TestEngineEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.SetEventBudget(3)
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	defer func() {
+		if recover() == nil {
+			t.Error("exceeding event budget did not panic")
+		}
+	}()
+	e.Run()
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the engine ends at the maximum timestamp.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var last Cycle
+		ok := true
+		var max Cycle
+		for _, d := range delays {
+			at := Cycle(d)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		end := e.Run()
+		if len(delays) == 0 {
+			return end == 0
+		}
+		return ok && end == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Cycle(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}

@@ -1,0 +1,100 @@
+// Package sweep runs independent simulation jobs in parallel. Every
+// simulation in this repository is single-threaded and deterministic, so
+// parameter sweeps (a figure's workload x scheme grid) parallelize
+// perfectly across cores without affecting results.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel executes every job and returns their results in job order,
+// running up to workers jobs concurrently (workers <= 0 selects
+// GOMAXPROCS). A panicking job propagates its panic to the caller.
+func Parallel[T any](jobs []func() T, workers int) []T {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]T, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 1 {
+		for i, job := range jobs {
+			results[i] = job()
+		}
+		return results
+	}
+
+	type failure struct{ v any }
+	var (
+		next     int
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		panicked *failure
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if panicked != nil || next >= len(jobs) {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if panicked == nil {
+			panicked = &failure{v}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							fail(r)
+						}
+					}()
+					results[i] = jobs[i]()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked.v)
+	}
+	return results
+}
+
+// Grid evaluates f over a rows x cols grid in parallel and returns
+// results indexed [row][col].
+func Grid[T any](rows, cols int, workers int, f func(row, col int) T) [][]T {
+	jobs := make([]func() T, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			r, c := r, c
+			jobs = append(jobs, func() T { return f(r, c) })
+		}
+	}
+	flat := Parallel(jobs, workers)
+	out := make([][]T, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = flat[r*cols : (r+1)*cols]
+	}
+	return out
+}

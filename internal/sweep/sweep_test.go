@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelOrderPreserved(t *testing.T) {
+	jobs := make([]func() int, 100)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() int { return i * i }
+	}
+	got := Parallel(jobs, 8)
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelEmpty(t *testing.T) {
+	if got := Parallel[int](nil, 4); len(got) != 0 {
+		t.Fatalf("empty jobs returned %v", got)
+	}
+}
+
+func TestParallelSingleWorker(t *testing.T) {
+	var order []int
+	jobs := make([]func() int, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() int { order = append(order, i); return i }
+	}
+	Parallel(jobs, 1)
+	for i, v := range order {
+		if v != i {
+			t.Fatal("single worker did not run sequentially")
+		}
+	}
+}
+
+func TestParallelActuallyConcurrent(t *testing.T) {
+	var inFlight, peak int64
+	jobs := make([]func() bool, 64)
+	gate := make(chan struct{})
+	for i := range jobs {
+		i := i
+		jobs[i] = func() bool {
+			n := atomic.AddInt64(&inFlight, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+					break
+				}
+			}
+			if i < 4 {
+				<-gate // first few jobs block until others run
+			}
+			atomic.AddInt64(&inFlight, -1)
+			return true
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		Parallel(jobs, 8)
+		close(done)
+	}()
+	// Unblock after the pool has had a chance to spread out.
+	for atomic.LoadInt64(&peak) < 2 {
+	}
+	close(gate)
+	<-done
+	if atomic.LoadInt64(&peak) < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2", peak)
+	}
+}
+
+func TestParallelPanicsPropagate(t *testing.T) {
+	jobs := []func() int{
+		func() int { return 1 },
+		func() int { panic("boom") },
+		func() int { return 3 },
+	}
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	Parallel(jobs, 2)
+}
+
+func TestGridIndexing(t *testing.T) {
+	got := Grid(3, 4, 4, func(r, c int) int { return r*10 + c })
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if got[r][c] != r*10+c {
+				t.Fatalf("grid[%d][%d] = %d", r, c, got[r][c])
+			}
+		}
+	}
+}
+
+// Property: Parallel returns exactly the same results as sequential
+// execution for pure jobs, regardless of worker count.
+func TestParallelEquivalenceProperty(t *testing.T) {
+	f := func(values []int32, workersRaw uint8) bool {
+		workers := int(workersRaw)%8 + 1
+		jobs := make([]func() int32, len(values))
+		for i := range jobs {
+			i := i
+			jobs[i] = func() int32 { return values[i] * 3 }
+		}
+		got := Parallel(jobs, workers)
+		for i := range values {
+			if got[i] != values[i]*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package trace collects the access-level data behind the paper's
+// characterization figures: the per-page access-frequency distribution
+// per managed allocation (Fig. 2) and the page-versus-time access
+// pattern samples (Fig. 3).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/uvm"
+)
+
+// PageStat aggregates accesses to one 4KB page.
+type PageStat struct {
+	Reads  uint64
+	Writes uint64
+}
+
+// Total returns the page's total access count.
+func (p PageStat) Total() uint64 { return p.Reads + p.Writes }
+
+// Sample is one access-pattern data point (Fig. 3).
+type Sample struct {
+	Cycle sim.Cycle
+	Page  memunits.PageNum
+	Write bool
+}
+
+// Collector observes driver accesses and accumulates both views.
+type Collector struct {
+	space *alloc.Space
+	freq  map[memunits.PageNum]*PageStat
+
+	sampleEvery uint64
+	seen        uint64
+	samples     []Sample
+}
+
+// NewCollector creates a collector. sampleEvery controls Fig. 3 sampling
+// density: one sample is kept per sampleEvery accesses (1 = keep all;
+// 0 disables pattern sampling).
+func NewCollector(space *alloc.Space, sampleEvery uint64) *Collector {
+	return &Collector{
+		space:       space,
+		freq:        make(map[memunits.PageNum]*PageStat),
+		sampleEvery: sampleEvery,
+	}
+}
+
+// Observer returns the driver hook feeding this collector.
+func (c *Collector) Observer() uvm.AccessObserver {
+	return func(now sim.Cycle, addr memunits.Addr, write bool, _ uvm.AccessKind) {
+		p := memunits.PageOf(addr)
+		st := c.freq[p]
+		if st == nil {
+			st = &PageStat{}
+			c.freq[p] = st
+		}
+		if write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		if c.sampleEvery > 0 {
+			c.seen++
+			if c.seen%c.sampleEvery == 0 {
+				c.samples = append(c.samples, Sample{Cycle: now, Page: p, Write: write})
+			}
+		}
+	}
+}
+
+// Samples returns the collected pattern samples in time order.
+func (c *Collector) Samples() []Sample { return c.samples }
+
+// PageFreq is one page's row in the Fig. 2 view.
+type PageFreq struct {
+	// PageIndex is the page offset within its allocation.
+	PageIndex uint64
+	Stat      PageStat
+}
+
+// AllocFreq is the access-frequency distribution of one allocation.
+type AllocFreq struct {
+	Name string
+	// ReadOnly reports whether no page of the allocation was written.
+	ReadOnly bool
+	Pages    []PageFreq // touched pages in ascending index order
+	// TotalAccesses across all pages.
+	TotalAccesses uint64
+}
+
+// HotColdRatio summarizes skew: the fraction of total accesses owned by
+// the top 10% most-accessed touched pages (1.0 = fully concentrated;
+// ~0.1 = uniform).
+func (a AllocFreq) HotColdRatio() float64 {
+	if a.TotalAccesses == 0 || len(a.Pages) == 0 {
+		return 0
+	}
+	counts := make([]uint64, len(a.Pages))
+	for i, p := range a.Pages {
+		counts[i] = p.Stat.Total()
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	top := len(counts) / 10
+	if top == 0 {
+		top = 1
+	}
+	var sum uint64
+	for _, v := range counts[:top] {
+		sum += v
+	}
+	return float64(sum) / float64(a.TotalAccesses)
+}
+
+// FrequencyByAllocation builds the Fig. 2 view: per-allocation page
+// access distributions in allocation order.
+func (c *Collector) FrequencyByAllocation() []AllocFreq {
+	var out []AllocFreq
+	for _, a := range c.space.Allocations() {
+		af := AllocFreq{Name: a.Name, ReadOnly: true}
+		first := a.FirstPage()
+		for p := first; p < first+a.NumPages(); p++ {
+			st := c.freq[p]
+			if st == nil {
+				continue
+			}
+			if st.Writes > 0 {
+				af.ReadOnly = false
+			}
+			af.Pages = append(af.Pages, PageFreq{PageIndex: p - first, Stat: *st})
+			af.TotalAccesses += st.Total()
+		}
+		out = append(out, af)
+	}
+	return out
+}
+
+// FormatFrequency renders the Fig. 2 data as a text table: one row per
+// allocation with page counts, totals, read-only class and hot/cold
+// skew.
+func (c *Collector) FormatFrequency() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %12s %9s %8s\n", "allocation", "pages", "accesses", "class", "top10%")
+	for _, af := range c.FrequencyByAllocation() {
+		class := "RW"
+		if af.ReadOnly {
+			class = "RO"
+		}
+		fmt.Fprintf(&b, "%-12s %10d %12d %9s %7.1f%%\n",
+			af.Name, len(af.Pages), af.TotalAccesses, class, af.HotColdRatio()*100)
+	}
+	return b.String()
+}
+
+// DumpFrequencyCSV renders per-page rows: allocation,pageIndex,reads,
+// writes — the raw series behind Fig. 2's scatter plots.
+func (c *Collector) DumpFrequencyCSV() string {
+	var b strings.Builder
+	b.WriteString("allocation,page,reads,writes\n")
+	for _, af := range c.FrequencyByAllocation() {
+		for _, p := range af.Pages {
+			fmt.Fprintf(&b, "%s,%d,%d,%d\n", af.Name, p.PageIndex, p.Stat.Reads, p.Stat.Writes)
+		}
+	}
+	return b.String()
+}
+
+// DumpSamplesCSV renders the Fig. 3 series: cycle,page,write rows,
+// optionally restricted to a cycle window (use 0,MaxCycle for all).
+func (c *Collector) DumpSamplesCSV(from, to sim.Cycle) string {
+	var b strings.Builder
+	b.WriteString("cycle,page,write\n")
+	for _, s := range c.samples {
+		if s.Cycle < from || s.Cycle > to {
+			continue
+		}
+		w := 0
+		if s.Write {
+			w = 1
+		}
+		fmt.Fprintf(&b, "%d,%d,%d\n", s.Cycle, s.Page, w)
+	}
+	return b.String()
+}

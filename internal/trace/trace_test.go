@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/uvm"
+)
+
+func setup() (*alloc.Space, *alloc.Allocation, *alloc.Allocation) {
+	s := alloc.NewSpace()
+	a := s.Alloc("hot", 1<<20, false)
+	b := s.Alloc("cold", 1<<20, true)
+	return s, a, b
+}
+
+func TestFrequencyAccumulation(t *testing.T) {
+	s, a, b := setup()
+	c := NewCollector(s, 0)
+	obs := c.Observer()
+	obs(10, a.Base, false, uvm.AccessNear)
+	obs(20, a.Base, true, uvm.AccessNear)
+	obs(30, a.Base+memunits.PageSize, false, uvm.AccessRemote)
+	obs(40, b.Base, false, uvm.AccessFault)
+
+	freqs := c.FrequencyByAllocation()
+	if len(freqs) != 2 {
+		t.Fatalf("allocations = %d, want 2", len(freqs))
+	}
+	hot := freqs[0]
+	if hot.Name != "hot" || len(hot.Pages) != 2 || hot.TotalAccesses != 3 {
+		t.Fatalf("hot = %+v", hot)
+	}
+	if hot.ReadOnly {
+		t.Fatal("hot marked read-only despite write")
+	}
+	if hot.Pages[0].Stat.Reads != 1 || hot.Pages[0].Stat.Writes != 1 {
+		t.Fatalf("page0 stat = %+v", hot.Pages[0].Stat)
+	}
+	cold := freqs[1]
+	if !cold.ReadOnly || cold.TotalAccesses != 1 {
+		t.Fatalf("cold = %+v", cold)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 3)
+	obs := c.Observer()
+	for i := 0; i < 10; i++ {
+		obs(uint64(i*100), a.Base+uint64(i)*memunits.PageSize, i%2 == 0, uvm.AccessNear)
+	}
+	// 10 accesses, every 3rd kept: 3 samples.
+	if len(c.Samples()) != 3 {
+		t.Fatalf("samples = %d, want 3", len(c.Samples()))
+	}
+	for i := 1; i < len(c.Samples()); i++ {
+		if c.Samples()[i].Cycle < c.Samples()[i-1].Cycle {
+			t.Fatal("samples out of time order")
+		}
+	}
+}
+
+func TestSamplingDisabled(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 0)
+	c.Observer()(1, a.Base, false, uvm.AccessNear)
+	if len(c.Samples()) != 0 {
+		t.Fatal("sampling not disabled")
+	}
+}
+
+func TestHotColdRatio(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 0)
+	obs := c.Observer()
+	// 20 pages touched once, one page hammered 1000 times.
+	for i := 0; i < 20; i++ {
+		obs(1, a.Base+uint64(i)*memunits.PageSize, false, uvm.AccessNear)
+	}
+	for i := 0; i < 1000; i++ {
+		obs(2, a.Base, false, uvm.AccessNear)
+	}
+	af := c.FrequencyByAllocation()[0]
+	if r := af.HotColdRatio(); r < 0.9 {
+		t.Fatalf("HotColdRatio = %.2f, want > 0.9 for concentrated access", r)
+	}
+}
+
+func TestHotColdRatioUniform(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 0)
+	obs := c.Observer()
+	for i := 0; i < 100; i++ {
+		obs(1, a.Base+uint64(i)*memunits.PageSize, false, uvm.AccessNear)
+	}
+	af := c.FrequencyByAllocation()[0]
+	if r := af.HotColdRatio(); r > 0.15 {
+		t.Fatalf("HotColdRatio = %.2f, want ~0.1 for uniform access", r)
+	}
+}
+
+func TestHotColdRatioEmpty(t *testing.T) {
+	if (AllocFreq{}).HotColdRatio() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+}
+
+func TestFormatFrequency(t *testing.T) {
+	s, a, b := setup()
+	c := NewCollector(s, 0)
+	obs := c.Observer()
+	obs(1, a.Base, true, uvm.AccessNear)
+	obs(1, b.Base, false, uvm.AccessNear)
+	out := c.FormatFrequency()
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "cold") {
+		t.Fatalf("missing allocations:\n%s", out)
+	}
+	if !strings.Contains(out, "RW") || !strings.Contains(out, "RO") {
+		t.Fatalf("missing class labels:\n%s", out)
+	}
+}
+
+func TestDumpFrequencyCSV(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 0)
+	c.Observer()(1, a.Base, true, uvm.AccessNear)
+	out := c.DumpFrequencyCSV()
+	if !strings.HasPrefix(out, "allocation,page,reads,writes\n") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, "hot,0,0,1") {
+		t.Fatalf("missing row:\n%s", out)
+	}
+}
+
+func TestDumpSamplesCSVWindow(t *testing.T) {
+	s, a, _ := setup()
+	c := NewCollector(s, 1)
+	obs := c.Observer()
+	obs(100, a.Base, false, uvm.AccessNear)
+	obs(200, a.Base, true, uvm.AccessNear)
+	obs(300, a.Base, false, uvm.AccessNear)
+	out := c.DumpSamplesCSV(150, 250)
+	lines := strings.Count(out, "\n")
+	if lines != 2 { // header + one sample
+		t.Fatalf("window dump:\n%s", out)
+	}
+	if !strings.Contains(out, "200,") {
+		t.Fatalf("missing in-window sample:\n%s", out)
+	}
+}

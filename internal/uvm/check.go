@@ -1,0 +1,78 @@
+package uvm
+
+import (
+	"fmt"
+
+	"uvmsim/internal/memunits"
+)
+
+// CheckConsistency walks the driver's entire state and verifies the
+// cross-structure invariants that every reachable state must satisfy.
+// Integration and property tests call it after (and during) runs; it
+// returns the first violation found.
+//
+// Invariants:
+//  1. Tree occupancy mirrors block state: a chunk-tree leaf is occupied
+//     iff its block is resident or pending.
+//  2. Chunk residentBlocks equals the number of resident blocks.
+//  3. Device memory accounting equals resident plus in-flight pages
+//     (frames are reserved at dispatch, before the transfer lands).
+//  4. Pending bookkeeping: scheduled implies pending; a resident block
+//     is never pending; waiters only exist on pending blocks.
+//  5. Queued/in-flight counters are non-negative and zero when idle.
+func (d *Driver) CheckConsistency() error {
+	var residentPages, inFlightPages uint64
+	for num, cs := range d.chunks {
+		first := cs.info.FirstBlock()
+		n := cs.info.Blocks()
+		tree := cs.pf.Tree()
+		var resident int
+		for b := first; b < first+n; b++ {
+			bs := d.blocks[b]
+			var isResident, isPending bool
+			if bs != nil {
+				isResident, isPending = bs.resident, bs.pending
+			}
+			leaf := int(b - first)
+			if occ := tree.Occupied(leaf); occ != (isResident || isPending) {
+				return fmt.Errorf("uvm: chunk %d leaf %d occupancy=%v but resident=%v pending=%v",
+					num, leaf, occ, isResident, isPending)
+			}
+			if isResident {
+				resident++
+				residentPages += memunits.PagesPerBlock
+			}
+			if bs != nil {
+				if bs.scheduled && !bs.pending {
+					return fmt.Errorf("uvm: block %d scheduled but not pending", b)
+				}
+				if bs.resident && bs.pending {
+					return fmt.Errorf("uvm: block %d both resident and pending", b)
+				}
+				if len(bs.waiters) > 0 && !bs.pending {
+					return fmt.Errorf("uvm: block %d has %d waiters but is not pending", b, len(bs.waiters))
+				}
+			}
+		}
+		if resident != cs.residentBlocks {
+			return fmt.Errorf("uvm: chunk %d residentBlocks=%d but counted %d", num, cs.residentBlocks, resident)
+		}
+		if cs.queuedBlocks < 0 || cs.inFlightBlocks < 0 {
+			return fmt.Errorf("uvm: chunk %d negative pending counters (%d queued, %d in flight)",
+				num, cs.queuedBlocks, cs.inFlightBlocks)
+		}
+		inFlightPages += uint64(cs.inFlightBlocks) * memunits.PagesPerBlock
+	}
+	if residentPages+inFlightPages != d.mem.AllocatedPages() {
+		return fmt.Errorf("uvm: device accounting %d pages but %d resident + %d in flight",
+			d.mem.AllocatedPages(), residentPages, inFlightPages)
+	}
+	if !d.PendingWork() {
+		for b, bs := range d.blocks {
+			if bs.pending {
+				return fmt.Errorf("uvm: idle driver but block %d still pending", b)
+			}
+		}
+	}
+	return nil
+}

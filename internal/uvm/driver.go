@@ -1,0 +1,652 @@
+// Package uvm implements the Unified Memory driver model: GMMU residency
+// tracking, replayable far-fault batching with the 45us handling latency,
+// migration over the PCIe link with tree-based prefetching, capacity
+// management with LRU/LFU eviction at 2MB or 64KB granularity, remote
+// zero-copy access, and the delayed-migration threshold schemes of the
+// paper (including the Adaptive dynamic threshold, Equation 1).
+//
+// The driver is the meeting point of every substrate package: it consumes
+// memory transactions from the GPU model and turns them into near
+// accesses, remote accesses, or far-faults with migrations and evictions.
+package uvm
+
+import (
+	"fmt"
+
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/config"
+	"uvmsim/internal/counters"
+	"uvmsim/internal/devmem"
+	"uvmsim/internal/evict"
+	"uvmsim/internal/interconnect"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/policy"
+	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
+	"uvmsim/internal/stats"
+)
+
+// AccessKind classifies how an access was served, for trace observers.
+type AccessKind int
+
+const (
+	// AccessNear was served from resident device memory.
+	AccessNear AccessKind = iota
+	// AccessRemote was served by zero-copy access to host memory.
+	AccessRemote
+	// AccessFault raised (or joined) a far-fault and waited for
+	// migration.
+	AccessFault
+)
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessNear:
+		return "near"
+	case AccessRemote:
+		return "remote"
+	case AccessFault:
+		return "fault"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// AccessObserver receives every memory transaction the driver serves.
+// Trace collection (Figs. 2 and 3) hangs off this hook.
+type AccessObserver func(now sim.Cycle, addr memunits.Addr, write bool, kind AccessKind)
+
+// blockState tracks one 64KB basic block.
+type blockState struct {
+	resident bool
+	// pending is true from the moment a fault is raised (or the block is
+	// claimed by a prefetch) until its migration lands; accesses merge
+	// onto waiters during that window.
+	pending bool
+	// scheduled marks pending blocks whose migration has been enqueued,
+	// so later fault entries in the same batch do not double-migrate.
+	scheduled bool
+	dirty     bool
+	// pendingDirty records a write observed while the block was in
+	// flight; applied to dirty when the migration lands.
+	pendingDirty bool
+	everEvicted  bool
+	lastAccess   sim.Cycle
+	waiters      []func()
+}
+
+// chunkState tracks one 2MB chunk slot of a managed allocation.
+type chunkState struct {
+	info alloc.ChunkInfo
+	pf   *prefetch.Chunk
+	// residentBlocks counts blocks currently resident.
+	residentBlocks int
+	// queuedBlocks counts blocks in enqueued-but-undispatched
+	// migrations; inFlightBlocks counts blocks on the wire. Both pin the
+	// chunk against standard eviction.
+	queuedBlocks   int
+	inFlightBlocks int
+	lastAccess     sim.Cycle
+}
+
+func (cs *chunkState) pinnedStandard() bool { return cs.queuedBlocks > 0 || cs.inFlightBlocks > 0 }
+
+// migration is one queued host-to-device copy of a block set within a
+// single chunk.
+type migration struct {
+	cs     *chunkState
+	blocks []memunits.BlockNum
+	demand memunits.BlockNum // the faulting block; others are prefetch
+}
+
+// Driver is the UVM driver model.
+type Driver struct {
+	eng     *sim.Engine
+	cfg     config.Config
+	space   *alloc.Space
+	mem     *devmem.Memory
+	link    *interconnect.Link
+	decider *policy.Decider
+	replace evict.Policy
+	ctrs    *counters.File
+	st      stats.Counters
+
+	blocks map[memunits.BlockNum]*blockState
+	chunks map[memunits.ChunkNum]*chunkState
+
+	// batch is the set of fault entries accumulated for the next
+	// processing round (nil when no round is scheduled).
+	batch []memunits.BlockNum
+
+	// waiting is the FIFO of migrations blocked on device capacity.
+	waiting []migration
+
+	// advice holds per-allocation placement hints (see advise.go),
+	// keyed by allocation ID.
+	advice map[int]Advice
+
+	faultLatency sim.Cycle
+	gmmuTLB      *tlb
+	obs          AccessObserver
+	finalized    bool
+}
+
+// New creates a driver for the given configuration and address space.
+func New(eng *sim.Engine, cfg config.Config, space *alloc.Space) *Driver {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("uvm: %v", err))
+	}
+	return &Driver{
+		eng:          eng,
+		cfg:          cfg,
+		space:        space,
+		mem:          devmem.New(cfg.DeviceMemBytes),
+		link:         interconnect.New(eng, cfg.PCIeBytesPerCycle, cfg.PCIeLatency, cfg.PCIeHeaderBytes, cfg.RemoteWirePenalty),
+		decider:      policy.NewDecider(cfg),
+		replace:      evict.New(cfg.Replacement),
+		ctrs:         counters.New(),
+		blocks:       make(map[memunits.BlockNum]*blockState),
+		chunks:       make(map[memunits.ChunkNum]*chunkState),
+		faultLatency: cfg.FarFaultLatencyCycles(),
+		gmmuTLB:      newTLB(cfg.TLBEntries),
+	}
+}
+
+// translate performs the GMMU TLB lookup for the page containing addr
+// and returns the page-walk latency to charge (zero on a hit).
+func (d *Driver) translate(addr memunits.Addr) sim.Cycle {
+	if d.gmmuTLB.lookup(memunits.PageOf(addr)) {
+		d.st.TLBHits++
+		return 0
+	}
+	d.st.TLBMisses++
+	return sim.Cycle(d.cfg.PageWalkLatency)
+}
+
+// SetObserver installs the access observer (nil to disable).
+func (d *Driver) SetObserver(obs AccessObserver) { d.obs = obs }
+
+// Stats returns the driver's counters. Call Finalize first to fold in
+// the interconnect byte totals.
+func (d *Driver) Stats() *stats.Counters { return &d.st }
+
+// Counters exposes the access-counter file (used by traces and tests).
+func (d *Driver) Counters() *counters.File { return d.ctrs }
+
+// Memory exposes the device memory model.
+func (d *Driver) Memory() *devmem.Memory { return d.mem }
+
+// Link exposes the interconnect model.
+func (d *Driver) Link() *interconnect.Link { return d.link }
+
+// Finalize folds interconnect statistics into the counters. Idempotent.
+func (d *Driver) Finalize() {
+	if d.finalized {
+		return
+	}
+	d.finalized = true
+	d.st.H2DBytes = d.link.Stats(interconnect.HostToDevice).Bytes
+	d.st.D2HBytes = d.link.Stats(interconnect.DeviceToHost).Bytes
+}
+
+// PendingWork reports whether any migrations are queued or in flight —
+// used by integration tests to assert clean quiescence.
+func (d *Driver) PendingWork() bool {
+	if len(d.waiting) > 0 || d.batch != nil {
+		return true
+	}
+	for _, cs := range d.chunks {
+		if cs.queuedBlocks > 0 || cs.inFlightBlocks > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Driver) block(b memunits.BlockNum) *blockState {
+	bs := d.blocks[b]
+	if bs == nil {
+		bs = &blockState{}
+		d.blocks[b] = bs
+	}
+	return bs
+}
+
+func (d *Driver) chunk(c memunits.ChunkNum) *chunkState {
+	cs := d.chunks[c]
+	if cs == nil {
+		_, info, ok := d.space.FindChunk(c)
+		if !ok {
+			panic(fmt.Sprintf("uvm: access to unallocated chunk %d", c))
+		}
+		cs = &chunkState{info: info, pf: prefetch.NewChunk(d.cfg.Prefetcher, int(info.Blocks()))}
+		d.chunks[c] = cs
+	}
+	return cs
+}
+
+func (d *Driver) memState() policy.MemState {
+	return policy.MemState{
+		AllocatedPages: d.mem.AllocatedPages(),
+		TotalPages:     d.mem.TotalPages(),
+		Oversubscribed: d.mem.Oversubscribed(),
+	}
+}
+
+// TryFastAccess serves the access synchronously when the block is
+// resident in device memory, returning the completion cycle. ok is false
+// when the slow path (Access) must be used instead. The fast path exists
+// so that the dominant near-access case costs no event-queue traffic.
+func (d *Driver) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool) {
+	b := memunits.BlockOf(addr)
+	bs := d.blocks[b]
+	if bs == nil || !bs.resident {
+		return 0, false
+	}
+	walk := d.translate(addr)
+	d.ctrs.Access(b)
+	now := d.eng.Now()
+	bs.lastAccess = now
+	if write {
+		bs.dirty = true
+	}
+	cs := d.chunks[memunits.ChunkOf(addr)]
+	if cs != nil {
+		cs.lastAccess = now
+	}
+	d.st.NearAccesses++
+	if d.obs != nil {
+		d.obs(now, addr, write, AccessNear)
+	}
+	return now + walk + sim.Cycle(d.cfg.DRAMLatency), true
+}
+
+// Access serves one 128B-sector transaction asynchronously; done fires
+// when the data is available to the SM. Residency, policy thresholds and
+// fault batching decide whether this becomes a near access, a remote
+// zero-copy access, or a far-fault.
+func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
+	if done == nil {
+		panic("uvm: nil completion callback")
+	}
+	owner := d.space.Find(addr)
+	if owner == nil {
+		panic(fmt.Sprintf("uvm: access to unmapped address %#x", addr))
+	}
+	if at, ok := d.TryFastAccess(addr, write); ok {
+		d.eng.At(at, done)
+		return
+	}
+	b := memunits.BlockOf(addr)
+	bs := d.block(b)
+	now := d.eng.Now()
+	bs.lastAccess = now
+	// The translation attempt happens (and is counted) regardless of how
+	// the access is ultimately served; only the remote path charges the
+	// walk latency explicitly — the far-fault handling latency subsumes
+	// it on the fault path.
+	walk := d.translate(addr)
+
+	if bs.pending {
+		// Migration already underway: merge.
+		d.ctrs.Access(b)
+		if write {
+			bs.pendingDirty = true
+		}
+		bs.waiters = append(bs.waiters, done)
+		if d.obs != nil {
+			d.obs(now, addr, write, AccessFault)
+		}
+		return
+	}
+
+	count := d.ctrs.Access(b)
+	var migrate bool
+	switch d.adviceFor(owner) {
+	case AdvicePinHost:
+		// Hard-pinned zero-copy allocation: never migrated.
+		migrate = false
+	case AdvicePreferHost:
+		// Soft pin: Volta semantics regardless of the global policy.
+		migrate = write || count >= d.cfg.StaticThreshold
+	default:
+		ms := d.memState()
+		r := d.ctrs.RoundTrips(b)
+		migrate = (write && d.cfg.WriteMigrates) || d.decider.ShouldMigrate(count, ms, r)
+	}
+	if !migrate {
+		d.remoteAccess(addr, write, walk, done)
+		return
+	}
+	d.raiseFault(b, write, done)
+	if d.obs != nil {
+		d.obs(now, addr, write, AccessFault)
+	}
+}
+
+// remoteAccess serves the transaction from host-pinned memory over the
+// interconnect. Read data flows host-to-device; write data flows
+// device-to-host. The configured remote-access latency is added on top
+// of the link's occupancy and initiation latency.
+func (d *Driver) remoteAccess(addr memunits.Addr, write bool, walk sim.Cycle, done func()) {
+	dir := interconnect.HostToDevice
+	if write {
+		dir = interconnect.DeviceToHost
+		d.st.RemoteWrites++
+	} else {
+		d.st.RemoteReads++
+	}
+	if d.obs != nil {
+		d.obs(d.eng.Now(), addr, write, AccessRemote)
+	}
+	finish := d.link.RemoteAccess(dir, memunits.SectorSize, nil)
+	d.eng.At(finish+walk+sim.Cycle(d.cfg.RemoteAccessLatency), done)
+}
+
+// raiseFault registers a far-fault for block b and opens a fault batch if
+// none is pending. The batch is processed after the fault handling
+// latency, modelling the driver walking the fault buffer.
+func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
+	bs := d.block(b)
+	bs.pending = true
+	if write {
+		bs.pendingDirty = true
+	}
+	bs.waiters = append(bs.waiters, done)
+	d.st.FarFaults++
+	if d.batch == nil {
+		d.st.FaultBatches++
+		d.eng.After(d.faultLatency, d.processBatch)
+	}
+	d.batch = append(d.batch, b)
+}
+
+// processBatch runs the migration heuristic for every fault accumulated
+// in the closing batch.
+func (d *Driver) processBatch() {
+	batch := d.batch
+	d.batch = nil
+	for _, b := range batch {
+		bs := d.block(b)
+		if bs.resident || bs.scheduled {
+			// Swept in by an earlier entry's prefetch.
+			continue
+		}
+		cs := d.chunk(memunits.ChunkOfBlock(b))
+		first := cs.info.FirstBlock()
+		leaves := cs.pf.OnFault(int(b - first))
+		blocks := make([]memunits.BlockNum, 0, len(leaves))
+		for _, leaf := range leaves {
+			blk := first + memunits.BlockNum(uint64(leaf))
+			ebs := d.block(blk)
+			if ebs.resident || ebs.scheduled {
+				// The tree can re-report blocks that are already being
+				// handled; skip them.
+				continue
+			}
+			ebs.pending = true
+			ebs.scheduled = true
+			blocks = append(blocks, blk)
+		}
+		if len(blocks) == 0 {
+			continue
+		}
+		cs.queuedBlocks += len(blocks)
+		d.waiting = append(d.waiting, migration{cs: cs, blocks: blocks, demand: b})
+	}
+	d.drainWaiting()
+}
+
+// drainWaiting dispatches queued migrations in FIFO order, evicting as
+// needed. It stops when the head migration cannot obtain capacity even
+// after eviction (it will be retried when in-flight work completes).
+func (d *Driver) drainWaiting() {
+	for len(d.waiting) > 0 {
+		m := d.waiting[0]
+		need := uint64(len(m.blocks)) * memunits.PagesPerBlock
+		if need > d.mem.TotalPages() {
+			panic(fmt.Sprintf("uvm: migration of %d pages exceeds device capacity %d", need, d.mem.TotalPages()))
+		}
+		for !d.mem.CanAllocate(need) {
+			if !d.evictOne(m.cs) {
+				return // retried on the next completion event
+			}
+		}
+		d.waiting = d.waiting[1:]
+		d.dispatch(m)
+	}
+}
+
+// dispatch allocates frames and puts the migration on the wire.
+func (d *Driver) dispatch(m migration) {
+	pages := uint64(len(m.blocks)) * memunits.PagesPerBlock
+	d.mem.Allocate(pages)
+	for _, b := range m.blocks {
+		bs := d.block(b)
+		d.st.MigratedPages += memunits.PagesPerBlock
+		if b != m.demand {
+			d.st.PrefetchedPages += memunits.PagesPerBlock
+		}
+		if bs.everEvicted {
+			d.st.ThrashedPages += memunits.PagesPerBlock
+		}
+	}
+	m.cs.queuedBlocks -= len(m.blocks)
+	m.cs.inFlightBlocks += len(m.blocks)
+	bytes := uint64(len(m.blocks)) * memunits.BlockSize
+	d.link.Transfer(interconnect.HostToDevice, bytes, func() { d.landMigration(m) })
+}
+
+// landMigration marks the blocks resident and wakes their waiters.
+func (d *Driver) landMigration(m migration) {
+	now := d.eng.Now()
+	for _, b := range m.blocks {
+		bs := d.block(b)
+		bs.resident = true
+		bs.pending = false
+		bs.scheduled = false
+		bs.dirty = bs.pendingDirty
+		bs.pendingDirty = false
+		bs.lastAccess = now
+		waiters := bs.waiters
+		bs.waiters = nil
+		for _, w := range waiters {
+			d.st.NearAccesses++
+			d.eng.After(sim.Cycle(d.cfg.DRAMLatency), w)
+		}
+	}
+	m.cs.inFlightBlocks -= len(m.blocks)
+	m.cs.residentBlocks += len(m.blocks)
+	m.cs.lastAccess = now
+	d.drainWaiting()
+}
+
+// evictOne frees one eviction unit. dest is the chunk currently being
+// migrated into; it is never victimized. Returns false when no victim is
+// available right now.
+func (d *Driver) evictOne(dest *chunkState) bool {
+	d.mem.NoteOversubscribed()
+	if d.cfg.EvictionGranularity == memunits.BlockSize {
+		return d.evictBlockGranularity(dest)
+	}
+	return d.evictChunkGranularity(dest)
+}
+
+// evictChunkGranularity implements 2MB-granularity replacement.
+func (d *Driver) evictChunkGranularity(dest *chunkState) bool {
+	victim := d.selectChunkVictim(dest, true)
+	if victim == nil {
+		// Relaxed pass: allow chunks pinned only by queued (not
+		// in-flight) migrations, to guarantee forward progress when the
+		// FIFO head blocks everything.
+		victim = d.selectChunkVictim(dest, false)
+	}
+	if victim == nil {
+		return false
+	}
+	d.evictChunk(victim)
+	return true
+}
+
+func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
+	var cands []evict.Candidate
+	var states []*chunkState
+	now := d.eng.Now()
+	for num, cs := range d.chunks {
+		if cs.residentBlocks == 0 || cs == dest {
+			continue
+		}
+		pinned := cs.inFlightBlocks > 0
+		if strict {
+			// Freshly landed or recently touched chunks are protected in
+			// the strict pass: their counters have not caught up yet and
+			// evicting them re-faults the active working set (LFU
+			// cold-start). The relaxed pass ignores the guard.
+			recent := d.cfg.EvictionRecencyGuard > 0 &&
+				now-cs.lastAccess < d.cfg.EvictionRecencyGuard
+			pinned = cs.pinnedStandard() || recent
+		}
+		first := cs.info.FirstBlock()
+		n := cs.info.Blocks()
+		cands = append(cands, evict.Candidate{
+			Unit:       num,
+			LastAccess: cs.lastAccess,
+			Score:      d.ctrs.SumCounts(first, n),
+			Dirty:      d.chunkDirty(cs),
+			Full:       cs.pf.Tree().Full(),
+			Pinned:     pinned,
+		})
+		states = append(states, cs)
+	}
+	// Map iteration order is random; normalize for determinism.
+	sortCandidates(cands, states)
+	idx, ok := d.replace.SelectVictim(cands)
+	if !ok {
+		return nil
+	}
+	return states[idx]
+}
+
+func (d *Driver) chunkDirty(cs *chunkState) bool {
+	first := cs.info.FirstBlock()
+	for b := first; b < first+cs.info.Blocks(); b++ {
+		if bs := d.blocks[b]; bs != nil && bs.resident && bs.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// evictChunk evicts every resident block of the chunk, writing dirty
+// data back over the device-to-host channel.
+func (d *Driver) evictChunk(cs *chunkState) {
+	first := cs.info.FirstBlock()
+	var evictedBlocks, dirtyBlocks uint64
+	for b := first; b < first+cs.info.Blocks(); b++ {
+		bs := d.blocks[b]
+		if bs == nil || !bs.resident {
+			continue
+		}
+		bs.resident = false
+		d.ctrs.NoteEviction(b)
+		bs.everEvicted = true
+		evictedBlocks++
+		if bs.dirty {
+			dirtyBlocks++
+			bs.dirty = false
+		}
+		d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
+	}
+	if evictedBlocks == 0 {
+		panic("uvm: evicting chunk with no resident blocks")
+	}
+	cs.residentBlocks = 0
+	// Rebuild tree occupancy: only pending (queued/in-flight) blocks
+	// remain claimed.
+	tree := cs.pf.Tree()
+	tree.Clear()
+	for b := first; b < first+cs.info.Blocks(); b++ {
+		if bs := d.blocks[b]; bs != nil && bs.pending {
+			tree.MarkOccupied(int(b - first))
+		}
+	}
+	d.finishEviction(evictedBlocks, dirtyBlocks)
+}
+
+// evictBlockGranularity implements the 64KB-granularity ablation.
+func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
+	now := d.eng.Now()
+	collect := func(strict bool) ([]evict.Candidate, []memunits.BlockNum, []*chunkState) {
+		var cands []evict.Candidate
+		var nums []memunits.BlockNum
+		var owners []*chunkState
+		for _, cs := range d.chunks {
+			if cs.residentBlocks == 0 || cs == dest {
+				continue
+			}
+			first := cs.info.FirstBlock()
+			for b := first; b < first+cs.info.Blocks(); b++ {
+				bs := d.blocks[b]
+				if bs == nil || !bs.resident {
+					continue
+				}
+				recent := strict && d.cfg.EvictionRecencyGuard > 0 &&
+					now-bs.lastAccess < d.cfg.EvictionRecencyGuard
+				cands = append(cands, evict.Candidate{
+					Unit:       b,
+					LastAccess: bs.lastAccess,
+					Score:      d.ctrs.Count(b),
+					Dirty:      bs.dirty,
+					Full:       true,
+					Pinned:     recent,
+				})
+				nums = append(nums, b)
+				owners = append(owners, cs)
+			}
+		}
+		sortBlockCandidates(cands, nums, owners)
+		return cands, nums, owners
+	}
+	cands, nums, owners := collect(true)
+	idx, ok := d.replace.SelectVictim(cands)
+	if !ok {
+		cands, nums, owners = collect(false)
+		idx, ok = d.replace.SelectVictim(cands)
+	}
+	if !ok {
+		return false
+	}
+	b, cs := nums[idx], owners[idx]
+	bs := d.blocks[b]
+	bs.resident = false
+	d.ctrs.NoteEviction(b)
+	bs.everEvicted = true
+	d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
+	dirty := uint64(0)
+	if bs.dirty {
+		dirty = 1
+		bs.dirty = false
+	}
+	cs.residentBlocks--
+	cs.pf.Tree().MarkEmpty(int(b - cs.info.FirstBlock()))
+	d.finishEviction(1, dirty)
+	return true
+}
+
+// finishEviction accounts for evicted blocks and schedules the dirty
+// write-back on the device-to-host channel.
+func (d *Driver) finishEviction(evictedBlocks, dirtyBlocks uint64) {
+	d.st.EvictedPages += evictedBlocks * memunits.PagesPerBlock
+	d.mem.Release(evictedBlocks * memunits.PagesPerBlock)
+	if dirtyBlocks > 0 {
+		d.st.WrittenBackPages += dirtyBlocks * memunits.PagesPerBlock
+		d.link.Transfer(interconnect.DeviceToHost, dirtyBlocks*memunits.BlockSize, func() {
+			d.drainWaiting()
+		})
+	}
+}
+
+// ResidentPages returns the number of device-resident pages (for
+// invariant checks).
+func (d *Driver) ResidentPages() uint64 { return d.mem.AllocatedPages() }

@@ -1,0 +1,51 @@
+package uvm
+
+import (
+	"sort"
+
+	"uvmsim/internal/evict"
+	"uvmsim/internal/memunits"
+)
+
+// sortCandidates orders chunk candidates (and their parallel state slice)
+// by unit number so that victim selection is deterministic despite map
+// iteration order.
+func sortCandidates(cands []evict.Candidate, states []*chunkState) {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cands[idx[a]].Unit < cands[idx[b]].Unit })
+	permuteCandidates(cands, idx)
+	permuted := make([]*chunkState, len(states))
+	for i, j := range idx {
+		permuted[i] = states[j]
+	}
+	copy(states, permuted)
+}
+
+// sortBlockCandidates is the block-granularity analogue.
+func sortBlockCandidates(cands []evict.Candidate, nums []memunits.BlockNum, owners []*chunkState) {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cands[idx[a]].Unit < cands[idx[b]].Unit })
+	permuteCandidates(cands, idx)
+	pn := make([]memunits.BlockNum, len(nums))
+	po := make([]*chunkState, len(owners))
+	for i, j := range idx {
+		pn[i] = nums[j]
+		po[i] = owners[j]
+	}
+	copy(nums, pn)
+	copy(owners, po)
+}
+
+func permuteCandidates(cands []evict.Candidate, idx []int) {
+	out := make([]evict.Candidate, len(cands))
+	for i, j := range idx {
+		out[i] = cands[j]
+	}
+	copy(cands, out)
+}

@@ -1,0 +1,102 @@
+package uvm
+
+import "uvmsim/internal/memunits"
+
+// tlb models the GMMU's shared translation lookaside buffer: an
+// LRU-replaced set of 4KB translations. A miss pays the page table walk
+// latency of Table I on top of the access; evicting device pages
+// invalidates their entries (the TLB shootdown that makes oversubscribed
+// irregular workloads pay translation overhead on top of migration, cf.
+// Vesely et al. [28]).
+type tlb struct {
+	cap     int
+	entries map[memunits.PageNum]*tlbNode
+	head    *tlbNode // most recently used
+	tail    *tlbNode // least recently used
+}
+
+type tlbNode struct {
+	page       memunits.PageNum
+	prev, next *tlbNode
+}
+
+// newTLB creates a TLB with the given entry capacity; cap <= 0 disables
+// translation modelling (every lookup hits).
+func newTLB(cap int) *tlb {
+	return &tlb{cap: cap, entries: make(map[memunits.PageNum]*tlbNode)}
+}
+
+// lookup reports whether the page's translation is cached, touching the
+// entry on hit and inserting it (with LRU eviction) on miss.
+func (t *tlb) lookup(p memunits.PageNum) bool {
+	if t.cap <= 0 {
+		return true
+	}
+	if n := t.entries[p]; n != nil {
+		t.touch(n)
+		return true
+	}
+	n := &tlbNode{page: p}
+	t.entries[p] = n
+	t.pushFront(n)
+	if len(t.entries) > t.cap {
+		lru := t.tail
+		t.unlink(lru)
+		delete(t.entries, lru.page)
+	}
+	return false
+}
+
+// invalidateRange drops translations for pages [first, first+count)
+// (TLB shootdown on eviction).
+func (t *tlb) invalidateRange(first memunits.PageNum, count uint64) uint64 {
+	if t.cap <= 0 {
+		return 0
+	}
+	var dropped uint64
+	for p := first; p < first+count; p++ {
+		if n := t.entries[p]; n != nil {
+			t.unlink(n)
+			delete(t.entries, p)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// size returns the populated entry count.
+func (t *tlb) size() int { return len(t.entries) }
+
+func (t *tlb) pushFront(n *tlbNode) {
+	n.prev = nil
+	n.next = t.head
+	if t.head != nil {
+		t.head.prev = n
+	}
+	t.head = n
+	if t.tail == nil {
+		t.tail = n
+	}
+}
+
+func (t *tlb) unlink(n *tlbNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (t *tlb) touch(n *tlbNode) {
+	if t.head == n {
+		return
+	}
+	t.unlink(n)
+	t.pushFront(n)
+}

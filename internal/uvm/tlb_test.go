@@ -1,0 +1,156 @@
+package uvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+)
+
+func TestTLBHitMiss(t *testing.T) {
+	tl := newTLB(4)
+	if tl.lookup(1) {
+		t.Fatal("cold lookup hit")
+	}
+	if !tl.lookup(1) {
+		t.Fatal("warm lookup missed")
+	}
+	if tl.size() != 1 {
+		t.Fatalf("size = %d", tl.size())
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tl := newTLB(2)
+	tl.lookup(1)
+	tl.lookup(2)
+	tl.lookup(1) // touch 1: 2 becomes LRU
+	tl.lookup(3) // evicts 2
+	if !tl.lookup(1) {
+		t.Fatal("recently used entry evicted")
+	}
+	if tl.lookup(2) {
+		t.Fatal("LRU entry survived")
+	}
+	if tl.size() != 2 {
+		t.Fatalf("size = %d, want cap 2", tl.size())
+	}
+}
+
+func TestTLBInvalidateRange(t *testing.T) {
+	tl := newTLB(16)
+	for p := memunits.PageNum(0); p < 8; p++ {
+		tl.lookup(p)
+	}
+	dropped := tl.invalidateRange(2, 4)
+	if dropped != 4 {
+		t.Fatalf("dropped = %d, want 4", dropped)
+	}
+	for p := memunits.PageNum(0); p < 8; p++ {
+		present := tl.entries[p] != nil
+		want := p < 2 || p >= 6
+		if present != want {
+			t.Fatalf("page %d presence = %v, want %v", p, present, want)
+		}
+	}
+	// Re-invalidating is a no-op.
+	if tl.invalidateRange(2, 4) != 0 {
+		t.Fatal("double invalidate dropped entries")
+	}
+}
+
+func TestTLBDisabled(t *testing.T) {
+	tl := newTLB(0)
+	if !tl.lookup(9) {
+		t.Fatal("disabled TLB missed")
+	}
+	if tl.invalidateRange(0, 100) != 0 {
+		t.Fatal("disabled TLB dropped entries")
+	}
+}
+
+// Property: the TLB never exceeds capacity and a lookup immediately
+// after another lookup of the same page always hits.
+func TestTLBBoundsProperty(t *testing.T) {
+	f := func(pages []uint16, capRaw uint8) bool {
+		cap := int(capRaw)%64 + 1
+		tl := newTLB(cap)
+		for _, p := range pages {
+			tl.lookup(memunits.PageNum(p))
+			if tl.size() > cap {
+				return false
+			}
+			if !tl.lookup(memunits.PageNum(p)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriverCountsTranslations(t *testing.T) {
+	r := newRig(t, nil, 4<<20)
+	r.syncAccess(t, r.a.Base, false) // migrate block 0
+	st := r.d.Stats()
+	if st.TLBMisses == 0 {
+		t.Fatal("no TLB misses recorded")
+	}
+	// Second access to the same page: hit.
+	preHits := st.TLBHits
+	r.syncAccess(t, r.a.Base, false)
+	if st.TLBHits != preHits+1 {
+		t.Fatalf("hits = %d, want %d", st.TLBHits, preHits+1)
+	}
+}
+
+func TestTLBMissAddsWalkLatency(t *testing.T) {
+	r := newRig(t, nil, 4<<20)
+	r.syncAccess(t, r.a.Base, false)
+	// Hit: DRAM latency only.
+	at1, _ := r.d.TryFastAccess(r.a.Base, false)
+	hitLat := at1 - r.eng.Now()
+	// Miss (different page of the same resident block): +PageWalkLatency.
+	at2, _ := r.d.TryFastAccess(r.a.Base+8*memunits.PageSize, false)
+	missLat := at2 - r.eng.Now()
+	if missLat != hitLat+simCycle(r.d.cfg.PageWalkLatency) {
+		t.Fatalf("miss latency %d, want hit %d + walk %d", missLat, hitLat, r.d.cfg.PageWalkLatency)
+	}
+}
+
+func simCycle(v uint64) uint64 { return v }
+
+func TestEvictionShootsDownTLB(t *testing.T) {
+	r := newRig(t, func(c *config.Config) {
+		c.DeviceMemBytes = 4 << 20
+	}, 12<<20)
+	touchChunk := func(chunk uint64) {
+		for b := uint64(0); b < memunits.BlocksPerChunk; b++ {
+			r.syncAccess(t, r.a.Base+chunk*(2<<20)+b*memunits.BlockSize, false)
+		}
+	}
+	touchChunk(0)
+	touchChunk(1)
+	touchChunk(2) // evicts chunk 0 -> shootdowns
+	if r.d.Stats().TLBShootdowns == 0 {
+		t.Fatal("eviction produced no shootdowns")
+	}
+	if err := r.d.Stats().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverTLBDisabled(t *testing.T) {
+	r := newRig(t, func(c *config.Config) { c.TLBEntries = 0 }, 4<<20)
+	r.syncAccess(t, r.a.Base, false)
+	st := r.d.Stats()
+	if st.TLBMisses != 0 {
+		t.Fatalf("disabled TLB recorded %d misses", st.TLBMisses)
+	}
+	if st.TLBHits == 0 {
+		t.Fatal("disabled TLB should count everything as hits")
+	}
+}

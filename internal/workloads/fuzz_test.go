@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEdgeList hardens the graph loader against arbitrary input:
+// it must either reject the input or return a structurally valid graph.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0 1\n1 0\n")
+	f.Add("0 1 5\n# comment\n2 3\n")
+	f.Add("")
+	f.Add("0 0 0")
+	f.Add("999999 1\n")
+	f.Add("0 1\n\n\n1 2 3\n% x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := ParseEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", verr, input)
+		}
+		if g.N > 1<<22 {
+			return // avoid pathological BFS below
+		}
+		// A valid graph must survive the host algorithms.
+		BFSLevels(g)
+		SSSPRounds(g, 4)
+	})
+}

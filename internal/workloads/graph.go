@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is a directed graph in CSR form, the substrate for the bfs and
+// sssp workloads. Targets within each adjacency list are sorted, giving
+// the intra-node locality real CSR graphs have.
+type Graph struct {
+	N       int
+	RowPtr  []int32 // length N+1
+	Edges   []int32 // length E: target node ids
+	Weights []int32 // length E: positive edge weights (sssp)
+}
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// Degree returns node v's out-degree.
+func (g *Graph) Degree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Adj returns node v's adjacency slice.
+func (g *Graph) Adj(v int) []int32 { return g.Edges[g.RowPtr[v]:g.RowPtr[v+1]] }
+
+// AdjWeights returns node v's weight slice.
+func (g *Graph) AdjWeights(v int) []int32 { return g.Weights[g.RowPtr[v]:g.RowPtr[v+1]] }
+
+// Validate checks CSR structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("graph: rowptr length %d, want %d", len(g.RowPtr), g.N+1)
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != len(g.Edges) {
+		return fmt.Errorf("graph: rowptr endpoints %d..%d, want 0..%d", g.RowPtr[0], g.RowPtr[g.N], len(g.Edges))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("graph: rowptr not monotone at %d", v)
+		}
+	}
+	for _, t := range g.Edges {
+		if t < 0 || int(t) >= g.N {
+			return fmt.Errorf("graph: edge target %d out of range", t)
+		}
+	}
+	if g.Weights != nil {
+		if len(g.Weights) != len(g.Edges) {
+			return fmt.Errorf("graph: %d weights for %d edges", len(g.Weights), len(g.Edges))
+		}
+		for _, w := range g.Weights {
+			if w <= 0 {
+				return fmt.Errorf("graph: non-positive weight %d", w)
+			}
+		}
+	}
+	return nil
+}
+
+// GenGraph builds a deterministic skewed random graph with n nodes and
+// about avgDeg*n edges. Every node i > 0 receives one backbone edge from
+// an earlier node, guaranteeing reachability from node 0; the remaining
+// edges use a cubic-skew source distribution so a minority of nodes own
+// the majority of edges — the input dependence that makes bfs and sssp
+// irregular.
+func GenGraph(n, avgDeg int, seed uint64) *Graph {
+	if n < 2 || avgDeg < 1 {
+		panic(fmt.Sprintf("workloads: GenGraph(n=%d, avgDeg=%d)", n, avgDeg))
+	}
+	rng := newRNG(seed)
+	adj := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		src := rng.intn(i)
+		adj[src] = append(adj[src], int32(i))
+	}
+	extra := n*avgDeg - (n - 1)
+	for e := 0; e < extra; e++ {
+		// Heavy skew: u^6 concentrates sources on low node ids, giving
+		// the minority-hot/majority-cold degree split of real scale-free
+		// inputs.
+		u := float64(rng.next()%(1<<24)) / float64(1<<24)
+		src := int(math.Pow(u, 6) * float64(n))
+		if src >= n {
+			src = n - 1
+		}
+		adj[src] = append(adj[src], int32(rng.intn(n)))
+	}
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	var total int
+	for _, a := range adj {
+		total += len(a)
+	}
+	g.Edges = make([]int32, 0, total)
+	g.Weights = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		sort.Slice(adj[v], func(a, b int) bool { return adj[v][a] < adj[v][b] })
+		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
+		g.Edges = append(g.Edges, adj[v]...)
+		for range adj[v] {
+			g.Weights = append(g.Weights, int32(rng.intn(15)+1))
+		}
+	}
+	return g
+}
+
+// BFSLevels runs host-side breadth-first search from node 0 and returns
+// the frontier node list of every level. The device kernels replay
+// these frontiers.
+func BFSLevels(g *Graph) [][]int32 {
+	visited := make([]bool, g.N)
+	visited[0] = true
+	frontier := []int32{0}
+	var levels [][]int32
+	for len(frontier) > 0 {
+		levels = append(levels, frontier)
+		var next []int32
+		for _, v := range frontier {
+			for _, t := range g.Adj(int(v)) {
+				if !visited[t] {
+					visited[t] = true
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// SSSPRounds runs host-side Bellman-Ford from node 0 with a worklist and
+// returns each round's active node list (capped at maxRounds) plus the
+// final distances. Device kernel1 of round r relaxes exactly the edges
+// of round r's worklist.
+func SSSPRounds(g *Graph, maxRounds int) (rounds [][]int32, dist []int32) {
+	const inf = math.MaxInt32
+	dist = make([]int32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	work := []int32{0}
+	inNext := make([]bool, g.N)
+	for r := 0; r < maxRounds && len(work) > 0; r++ {
+		rounds = append(rounds, work)
+		var next []int32
+		for i := range inNext {
+			inNext[i] = false
+		}
+		for _, v := range work {
+			adj := g.Adj(int(v))
+			ws := g.AdjWeights(int(v))
+			for k, t := range adj {
+				if nd := dist[v] + ws[k]; nd < dist[t] {
+					dist[t] = nd
+					if !inNext[t] {
+						inNext[t] = true
+						next = append(next, t)
+					}
+				}
+			}
+		}
+		work = next
+	}
+	return rounds, dist
+}

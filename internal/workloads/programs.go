@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/gpu"
+	"uvmsim/internal/memunits"
+)
+
+// elemSize is the element width of every synthetic array (float32/int32).
+const elemSize = 4
+
+// lanes is the number of elements one memory instruction covers.
+const lanes = gpu.MaxLanes
+
+// operand describes one array touched per element group by a stream
+// program.
+type operand struct {
+	base  memunits.Addr
+	write bool
+}
+
+// readOp and writeOp build operands from an allocation at an element
+// offset.
+func readOp(a *alloc.Allocation) operand  { return operand{base: a.Base} }
+func writeOp(a *alloc.Allocation) operand { return operand{base: a.Base, write: true} }
+
+// streamProgram is a dense sequential sweep: for each group of 32
+// consecutive elements in [lo, hi), it issues one instruction per
+// operand (same element indices in each array), with compute cycles
+// attached to the first instruction of each group.
+type streamProgram struct {
+	ops     []operand
+	lo, hi  int // element index range
+	compute uint64
+	pos     int
+	opIdx   int
+}
+
+// newStream builds a stream over elements [lo, hi).
+func newStream(ops []operand, lo, hi int, compute uint64) *streamProgram {
+	return &streamProgram{ops: ops, lo: lo, hi: hi, compute: compute, pos: lo}
+}
+
+// Next implements gpu.WarpProgram.
+func (p *streamProgram) Next(in *gpu.Instr) bool {
+	if p.pos >= p.hi {
+		return false
+	}
+	end := p.pos + lanes
+	if end > p.hi {
+		end = p.hi
+	}
+	op := p.ops[p.opIdx]
+	in.Write = op.write
+	in.NumAddrs = end - p.pos
+	for i := p.pos; i < end; i++ {
+		in.Addrs[i-p.pos] = op.base + uint64(i)*elemSize
+	}
+	if p.opIdx == 0 {
+		in.Compute = p.compute
+	} else {
+		in.Compute = 0
+	}
+	p.opIdx++
+	if p.opIdx == len(p.ops) {
+		p.opIdx = 0
+		p.pos = end
+	}
+	return true
+}
+
+// gatherProgram issues gather/scatter instructions: each group of up to
+// 32 indices from idx produces one instruction per operand whose lane
+// addresses are table[idx[k]]. Used for random access (ra) and
+// frontier-driven neighbor updates.
+type gatherProgram struct {
+	ops     []operand // bases are table bases; indices apply to each
+	idx     []int32
+	compute uint64
+	pos     int
+	opIdx   int
+}
+
+func newGather(ops []operand, idx []int32, compute uint64) *gatherProgram {
+	return &gatherProgram{ops: ops, idx: idx, compute: compute}
+}
+
+// Next implements gpu.WarpProgram.
+func (p *gatherProgram) Next(in *gpu.Instr) bool {
+	if p.pos >= len(p.idx) {
+		return false
+	}
+	end := p.pos + lanes
+	if end > len(p.idx) {
+		end = len(p.idx)
+	}
+	op := p.ops[p.opIdx]
+	in.Write = op.write
+	in.NumAddrs = end - p.pos
+	for i := p.pos; i < end; i++ {
+		in.Addrs[i-p.pos] = op.base + uint64(p.idx[i])*elemSize
+	}
+	if p.opIdx == 0 {
+		in.Compute = p.compute
+	} else {
+		in.Compute = 0
+	}
+	p.opIdx++
+	if p.opIdx == len(p.ops) {
+		p.opIdx = 0
+		p.pos = end
+	}
+	return true
+}
+
+// seqProgram chains several programs, running each to completion.
+type seqProgram struct {
+	progs []gpu.WarpProgram
+	cur   int
+}
+
+func chainPrograms(progs ...gpu.WarpProgram) gpu.WarpProgram {
+	return &seqProgram{progs: progs}
+}
+
+// Next implements gpu.WarpProgram.
+func (p *seqProgram) Next(in *gpu.Instr) bool {
+	for p.cur < len(p.progs) {
+		if p.progs[p.cur].Next(in) {
+			return true
+		}
+		p.cur++
+	}
+	return false
+}
+
+// stridedProgram sweeps rows of a row-major 2D array: for each row in
+// [rowLo, rowHi), it covers columns [colLo, colHi) in 32-element groups,
+// one instruction per operand. Rows are rowStride elements apart, which
+// is what spreads wavefront traversals (nw) across pages.
+type stridedProgram struct {
+	ops            []operand
+	rowLo, rowHi   int
+	colLo, colHi   int
+	rowStride      int
+	compute        uint64
+	row, col, opIx int
+}
+
+func newStrided(ops []operand, rowLo, rowHi, colLo, colHi, rowStride int, compute uint64) *stridedProgram {
+	return &stridedProgram{
+		ops: ops, rowLo: rowLo, rowHi: rowHi, colLo: colLo, colHi: colHi,
+		rowStride: rowStride, compute: compute, row: rowLo, col: colLo,
+	}
+}
+
+// Next implements gpu.WarpProgram.
+func (p *stridedProgram) Next(in *gpu.Instr) bool {
+	if p.row >= p.rowHi || p.colLo >= p.colHi {
+		return false
+	}
+	end := p.col + lanes
+	if end > p.colHi {
+		end = p.colHi
+	}
+	op := p.ops[p.opIx]
+	in.Write = op.write
+	in.NumAddrs = end - p.col
+	rowBase := op.base + uint64(p.row*p.rowStride)*elemSize
+	for c := p.col; c < end; c++ {
+		in.Addrs[c-p.col] = rowBase + uint64(c)*elemSize
+	}
+	if p.opIx == 0 {
+		in.Compute = p.compute
+	} else {
+		in.Compute = 0
+	}
+	p.opIx++
+	if p.opIx == len(p.ops) {
+		p.opIx = 0
+		p.col = end
+		if p.col >= p.colHi {
+			p.col = p.colLo
+			p.row++
+		}
+	}
+	return true
+}

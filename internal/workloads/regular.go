@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/gpu"
+)
+
+// itemsPerWarpDense is the contiguous element share per warp in dense
+// kernels: 512 elements = 2KB per array per warp. Keeping the share
+// small keeps the concurrent-warp footprint a sliding window that is
+// small relative to the working set, as on real hardware — large shares
+// make every resident chunk "in use" at once and turn eviction into
+// guaranteed thrash.
+const itemsPerWarpDense = 512
+
+// denseKernel builds a full sequential sweep over n elements applying
+// ops to every 32-element group.
+func denseKernel(name string, n int, ops []operand, compute uint64) gpu.Kernel {
+	return partitionKernel(name, n, itemsPerWarpDense, func(lo, hi int) gpu.WarpProgram {
+		return newStream(ops, lo, hi, compute)
+	})
+}
+
+// Backprop models the Rodinia backprop shape the paper reports: a
+// single forward and a single backward pass, each scanning its layers
+// densely and sequentially with no data reuse across kernels — which is
+// why it shows zero thrashing even under oversubscription (Fig. 7).
+func Backprop(scale float64) *Built {
+	space := alloc.NewSpace()
+	nIn := scaleElems(2<<20, scale)  // input units
+	nW := scaleElems(3<<20, scale)   // weight matrix elements
+	nHid := scaleElems(1<<20, scale) // hidden units
+	nDelta := scaleElems(1<<20, scale)
+
+	input := space.Alloc("input", uint64(nIn)*elemSize, true)
+	w1 := space.Alloc("w1", uint64(nW)*elemSize, true)
+	hidden := space.Alloc("hidden", uint64(nHid)*elemSize, false)
+	delta := space.Alloc("delta", uint64(nDelta)*elemSize, true)
+	w2 := space.Alloc("w2", uint64(nW)*elemSize, false)
+
+	// Every kernel is a single dense pass over its own arrays; no array
+	// is touched by more than one kernel, so there is no cross-kernel
+	// reuse to thrash on.
+	kernels := []gpu.Kernel{
+		denseKernel("backprop_forward_in", nIn, []operand{readOp(input)}, 6),
+		denseKernel("backprop_forward_w", nW, []operand{readOp(w1)}, 8),
+		denseKernel("backprop_forward_hidden", nHid, []operand{writeOp(hidden)}, 4),
+		denseKernel("backprop_backward_delta", nDelta, []operand{readOp(delta)}, 6),
+		denseKernel("backprop_backward_w", nW, []operand{writeOp(w2)}, 8),
+	}
+	return &Built{
+		Name: "backprop", Regular: true, Space: space,
+		Kernels: kernels,
+		IterOf:  []int{1, 1, 1, 1, 1},
+	}
+}
+
+// FDTD models fdtd-2d (PolyBench): three equal arrays (ex, ey, hz)
+// updated by three kernels per iteration, every iteration sweeping all
+// arrays densely and sequentially (§III-B, Figs. 2a/3a/3b).
+func FDTD(scale float64) *Built {
+	space := alloc.NewSpace()
+	n := scaleElems(5<<19, scale) // 2.5M elements = 10MB per array at scale 1
+	const iters = 4
+
+	ex := space.Alloc("ex", uint64(n)*elemSize, false)
+	ey := space.Alloc("ey", uint64(n)*elemSize, false)
+	hz := space.Alloc("hz", uint64(n)*elemSize, false)
+
+	var kernels []gpu.Kernel
+	var iterOf []int
+	for it := 1; it <= iters; it++ {
+		kernels = append(kernels,
+			denseKernel(fmt.Sprintf("fdtd_ey_i%d", it), n, []operand{readOp(ey), readOp(hz), writeOp(ey)}, 6),
+			denseKernel(fmt.Sprintf("fdtd_ex_i%d", it), n, []operand{readOp(ex), readOp(hz), writeOp(ex)}, 6),
+			denseKernel(fmt.Sprintf("fdtd_hz_i%d", it), n, []operand{readOp(hz), readOp(ex), readOp(ey), writeOp(hz)}, 8),
+		)
+		iterOf = append(iterOf, it, it, it)
+	}
+	return &Built{Name: "fdtd", Regular: true, Space: space, Kernels: kernels, IterOf: iterOf}
+}
+
+// Hotspot models the Rodinia hotspot thermal stencil: a read-write
+// temperature grid and a read-only power grid swept densely every
+// iteration.
+func Hotspot(scale float64) *Built {
+	space := alloc.NewSpace()
+	n := scaleElems(4<<20, scale) // 16MB per grid at scale 1
+	const iters = 5
+
+	temp := space.Alloc("temp", uint64(n)*elemSize, false)
+	power := space.Alloc("power", uint64(n)*elemSize, true)
+
+	var kernels []gpu.Kernel
+	var iterOf []int
+	for it := 1; it <= iters; it++ {
+		kernels = append(kernels, denseKernel(
+			fmt.Sprintf("hotspot_i%d", it), n,
+			[]operand{readOp(temp), readOp(power), writeOp(temp)}, 12))
+		iterOf = append(iterOf, it)
+	}
+	return &Built{Name: "hotspot", Regular: true, Space: space, Kernels: kernels, IterOf: iterOf}
+}
+
+// SRAD models the Rodinia srad diffusion: an image and a coefficient
+// array, two dense kernels per iteration.
+func SRAD(scale float64) *Built {
+	space := alloc.NewSpace()
+	n := scaleElems(3<<20, scale) // 12MB per array at scale 1
+	const iters = 4
+
+	img := space.Alloc("image", uint64(n)*elemSize, false)
+	coef := space.Alloc("coef", uint64(n)*elemSize, false)
+
+	var kernels []gpu.Kernel
+	var iterOf []int
+	for it := 1; it <= iters; it++ {
+		kernels = append(kernels,
+			denseKernel(fmt.Sprintf("srad1_i%d", it), n, []operand{readOp(img), writeOp(coef)}, 10),
+			denseKernel(fmt.Sprintf("srad2_i%d", it), n, []operand{readOp(img), readOp(coef), writeOp(img)}, 10),
+		)
+		iterOf = append(iterOf, it, it)
+	}
+	return &Built{Name: "srad", Regular: true, Space: space, Kernels: kernels, IterOf: iterOf}
+}

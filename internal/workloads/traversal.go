@@ -1,0 +1,144 @@
+package workloads
+
+import "fmt"
+
+// TraversalGraph generation.
+//
+// The paper's irregular traversal benchmarks (bfs, sssp) operate on
+// inputs whose defining property is *sparse, seldom access to large
+// data sets*: only a scattered fraction of the edge array is ever
+// touched, and it is touched a few transactions at a time across many
+// thin iterations. A uniformly-reachable random graph scaled down to
+// simulator-friendly sizes loses exactly that property — any broad
+// frontier becomes dense at 64KB-block granularity and every block
+// crosses any access threshold immediately.
+//
+// GenTraversalGraph therefore builds a graph with an explicitly layered
+// reachable subgraph:
+//
+//   - a fraction reachFrac of the nodes, scattered uniformly through the
+//     node id space, is reachable from node 0;
+//   - the reachable set is partitioned into `layers` equal waves; BFS
+//     from node 0 discovers exactly one wave per level, so frontiers are
+//     thin and uniform instead of exponentially back-loaded;
+//   - reachable nodes also receive a few same-layer and backward edges,
+//     which make worklist SSSP re-relax earlier waves (re-touching edge
+//     blocks across rounds);
+//   - unreachable nodes still own ordinary adjacency lists, so the edge
+//     array has its full footprint while most of it is never read —
+//     the cold data the Adaptive policy can leave host-pinned.
+
+// GenTraversalGraph builds the layered sparse-traversal graph described
+// above: n nodes, about n*avgDeg edges, a reachable subgraph of
+// ~reachFrac*n scattered nodes organized into the given number of
+// layers. Node 0 is the single root layer.
+func GenTraversalGraph(n, avgDeg, layers int, reachFrac float64, seed uint64) *Graph {
+	if n < 2 || avgDeg < 2 || layers < 1 || reachFrac <= 0 || reachFrac > 1 {
+		panic(fmt.Sprintf("workloads: GenTraversalGraph(n=%d, avgDeg=%d, layers=%d, reach=%v)",
+			n, avgDeg, layers, reachFrac))
+	}
+	rng := newRNG(seed)
+
+	// Scatter the reachable set through the id space.
+	cut := uint64(reachFrac * float64(1<<16))
+	inS := func(v int) bool {
+		if v == 0 {
+			return true
+		}
+		x := uint64(v) * 0x9E3779B97F4A7C15
+		return (x>>32)%(1<<16) < cut
+	}
+	var s []int32
+	for v := 0; v < n; v++ {
+		if inS(v) {
+			s = append(s, int32(v))
+		}
+	}
+	if len(s) < layers+1 {
+		panic(fmt.Sprintf("workloads: reachable set %d smaller than %d layers", len(s), layers))
+	}
+
+	// Partition: layer 0 = {node 0}; layers 1..layers share the rest.
+	// s is in ascending id order, which is already scattered relative to
+	// the hash-based membership; interleave round-robin so every layer
+	// spreads across the id space.
+	layerOf := make(map[int32]int, len(s))
+	byLayer := make([][]int32, layers+1)
+	byLayer[0] = []int32{0}
+	layerOf[0] = 0
+	i := 0
+	for _, v := range s {
+		if v == 0 {
+			continue
+		}
+		l := 1 + i%layers
+		byLayer[l] = append(byLayer[l], v)
+		layerOf[v] = l
+		i++
+	}
+
+	adj := make([][]int32, n)
+	addEdge := func(u int, t int32) { adj[u] = append(adj[u], t) }
+
+	// Backbone: every node of layer k+1 gets one in-edge from a random
+	// node of layer k, making BFS discover exactly one layer per level.
+	for l := 1; l <= layers; l++ {
+		prev := byLayer[l-1]
+		for _, v := range byLayer[l] {
+			addEdge(int(prev[rng.intn(len(prev))]), v)
+		}
+	}
+	// Extra reachable-subgraph edges: forward (next layer), same-layer,
+	// and backward — the backward ones re-activate earlier waves in
+	// worklist SSSP.
+	for l := 1; l <= layers; l++ {
+		for _, v := range byLayer[l] {
+			if l < layers {
+				next := byLayer[l+1]
+				addEdge(int(v), next[rng.intn(len(next))])
+			}
+			if rng.intn(2) == 0 {
+				same := byLayer[l]
+				addEdge(int(v), same[rng.intn(len(same))])
+			}
+			if l > 1 && rng.intn(4) == 0 {
+				back := byLayer[l-1]
+				addEdge(int(v), back[rng.intn(len(back))])
+			}
+		}
+	}
+	// Fill every node up to avgDeg. Unreachable nodes get uniformly
+	// random targets — pure footprint, never read by the traversal.
+	// Reachable nodes' fillers target same-or-earlier layers so the
+	// reachable set stays exactly S and BFS levels stay one layer wide
+	// (an edge into an already-visited wave never re-expands BFS, while
+	// it does re-activate waves in worklist SSSP).
+	for v := 0; v < n; v++ {
+		if l, ok := layerOf[int32(v)]; ok {
+			for len(adj[v]) < avgDeg {
+				tgt := byLayer[rng.intn(l+1)]
+				addEdge(v, tgt[rng.intn(len(tgt))])
+			}
+			continue
+		}
+		for len(adj[v]) < avgDeg {
+			addEdge(v, int32(rng.intn(n)))
+		}
+	}
+
+	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
+	var total int
+	for _, a := range adj {
+		total += len(a)
+	}
+	g.Edges = make([]int32, 0, total)
+	g.Weights = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
+		g.Edges = append(g.Edges, adj[v]...)
+		for range adj[v] {
+			g.Weights = append(g.Weights, int32(rng.intn(15)+1))
+		}
+	}
+	return g
+}
