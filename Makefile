@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: build test short vet race bench bench-baseline figures check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the whole module; internal/sweep and internal/multigpu
+# hold the only real concurrency, but the sweeps drag every simulator
+# package through the detector too.
+race: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Regenerate the committed perf trajectory (see README, "Profiling and
+# the performance baseline"). Run on an idle machine.
+bench-baseline:
+	$(GO) run ./cmd/paperbench -bench-json BENCH_baseline.json -scale 0.25
+
+figures:
+	$(GO) run ./cmd/paperbench -fig all
+
+check: vet test

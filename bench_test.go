@@ -28,6 +28,7 @@ func benchOpts() ExperimentOptions { return ExperimentOptions{Scale: benchScale}
 
 // BenchmarkTable1 regenerates Table I (configuration rendering).
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(Table1(DefaultConfig())) == 0 {
 			b.Fatal("empty table")
@@ -39,6 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 // all eight workloads under the baseline. Reports the 125% slowdown of
 // one regular and one irregular workload.
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := Fig1(benchOpts())
 		reg, _ := t.Get("fdtd", 1)
@@ -51,6 +53,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig2 regenerates Figure 2: the per-allocation access
 // frequency characterization of fdtd and sssp.
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, w := range []string{"fdtd", "sssp"} {
 			if len(Fig2(w, benchOpts())) == 0 {
@@ -63,6 +66,7 @@ func BenchmarkFig2(b *testing.B) {
 // BenchmarkFig3 regenerates Figure 3: access-pattern samples for fdtd
 // iterations 2 and 4 and sssp iterations 3 and 5.
 func BenchmarkFig3(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := Fig3("fdtd", benchOpts(), []int{2, 4}, 256)
 		s := Fig3("sssp", benchOpts(), []int{3, 5}, 256)
@@ -75,6 +79,7 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig4 regenerates Figure 4: static-threshold sensitivity under
 // the Always scheme at 125% oversubscription.
 func BenchmarkFig4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := Fig4(benchOpts())
 		v, _ := t.Get("sssp", 2)
@@ -86,6 +91,7 @@ func BenchmarkFig4(b *testing.B) {
 // oversubscription. Reports Adaptive's ratio to baseline for sssp,
 // which the paper expects near 1.0.
 func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := Fig5(benchOpts())
 		v, _ := t.Get("sssp", 2)
@@ -98,6 +104,7 @@ func BenchmarkFig5(b *testing.B) {
 // the Adaptive runtime and thrash ratios for ra (the paper's strongest
 // case).
 func BenchmarkFig6And7(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rt, th := Fig6And7(benchOpts())
 		r, _ := rt.Get("ra", 3)
@@ -111,6 +118,7 @@ func BenchmarkFig6And7(b *testing.B) {
 // Adaptive. Reports nw's ratio at the giant penalty (p=2^20), which the
 // paper expects to collapse.
 func BenchmarkFig8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := Fig8(benchOpts())
 		v, _ := t.Get("nw", 4)
@@ -122,6 +130,7 @@ func BenchmarkFig8(b *testing.B) {
 // eviction granularity (Table I lists both) for an irregular workload
 // under the baseline policy.
 func BenchmarkAblationEvictionGranularity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		w := BuildWorkload("nw", benchScale)
 		coarse := DefaultConfig().WithOversubscription(w.WorkingSet(), 125)
@@ -142,6 +151,7 @@ func BenchmarkAblationEvictionGranularity(b *testing.B) {
 // prefetchers differ mainly in batching and transfer granularity rather
 // than fault count; expect ratios near 1 at small scales.
 func BenchmarkAblationPrefetcher(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var times [3]uint64
 		var batches [3]uint64
@@ -160,6 +170,46 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 }
 
 // --- Substrate microbenchmarks ---
+
+// BenchmarkEngineSchedule measures the enqueue half of the event queue
+// in isolation: pure Schedule cost with periodic drains to bound heap
+// size. Steady state must be allocation-free (see engine_alloc_test.go
+// for the hard assertion).
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(uint64(i%512), fn)
+		if eng.Pending() > 8192 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// BenchmarkEngineRun measures the schedule+dispatch round trip: every
+// iteration enqueues one event and the engine is periodically advanced,
+// so the cost includes heap pops, same-cycle ring dispatch and slot
+// recycling.
+func BenchmarkEngineRun(b *testing.B) {
+	eng := sim.NewEngine()
+	var fired int
+	fn := func() { fired++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(uint64(i%64), fn)
+		if eng.Pending() > 1024 {
+			eng.RunUntil(eng.Now() + 32)
+		}
+	}
+	eng.Run()
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
 
 // BenchmarkEngineEvents measures raw event-queue throughput.
 func BenchmarkEngineEvents(b *testing.B) {
@@ -221,6 +271,7 @@ func BenchmarkTreePrefetcher(b *testing.B) {
 // BenchmarkCoalescer measures warp instruction coalescing through a
 // minimal GPU run (32 divergent lanes per instruction).
 func BenchmarkCoalescer(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default()
 	cfg.NumSMs = 1
 	for i := 0; i < b.N; i++ {

@@ -1,5 +1,5 @@
 // Command paperbench regenerates the tables and figures of the paper's
-// evaluation section.
+// evaluation section, and records the simulator's own performance.
 //
 // Usage:
 //
@@ -7,52 +7,111 @@
 //	paperbench -fig 6 -scale 0.5   # one figure, reduced scale
 //	paperbench -table1             # the simulated-system configuration
 //	paperbench -fig 6 -csv         # machine-readable output
+//
+// Performance tooling:
+//
+//	paperbench -fig 6 -cpuprofile cpu.pprof   # profile a sweep
+//	paperbench -fig 6 -memprofile mem.pprof   # heap profile at exit
+//	paperbench -bench-json BENCH_baseline.json -scale 0.25
+//	                                # measure the perf-trajectory suite
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 
 	"uvmsim"
 	"uvmsim/internal/cliutil"
 	"uvmsim/internal/plot"
+	"uvmsim/internal/resultio"
+	"uvmsim/internal/sim"
 )
 
 func main() {
 	var (
-		fig       = flag.String("fig", "", "figure to regenerate: 1-8, or 'all'")
-		table1    = flag.Bool("table1", false, "print Table I (simulated system configuration)")
-		scale     = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plotOut   = flag.Bool("plot", false, "render tables as terminal bar charts")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		sample    = flag.Uint64("sample", 256, "Fig. 3 sampling density (1 = every access)")
+		fig        = flag.String("fig", "", "figure to regenerate: 1-8, or 'all'")
+		table1     = flag.Bool("table1", false, "print Table I (simulated system configuration)")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plotOut    = flag.Bool("plot", false, "render tables as terminal bar charts")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		sample     = flag.Uint64("sample", 256, "Fig. 3 sampling density (1 = every access)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write a versioned JSON report to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
-	if !*table1 && *fig == "" {
+	if !*table1 && *fig == "" && *benchJSON == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *table1 {
-		fmt.Print(uvmsim.Table1(uvmsim.DefaultConfig()))
-		fmt.Println()
-	}
-	if *fig == "" {
-		return
-	}
-
 	opt := uvmsim.ExperimentOptions{Scale: *scale}
 	if *workloads != "" {
 		opt.Workloads = cliutil.SplitList(*workloads)
 	}
+	err := run(*fig, *table1, *csv, *plotOut, *sample, *cpuprofile, *memprofile, *benchJSON, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run executes the selected modes with profiling hooks wrapped around
+// them; it returns instead of exiting so deferred profile writers run.
+func run(fig string, table1, csv, plotOut bool, sample uint64, cpuprofile, memprofile, benchJSON string, opt uvmsim.ExperimentOptions) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			}
+		}()
+	}
+
+	if benchJSON != "" {
+		if err := runBenchSuite(benchJSON, opt); err != nil {
+			return err
+		}
+	}
+	if table1 {
+		fmt.Print(uvmsim.Table1(uvmsim.DefaultConfig()))
+		fmt.Println()
+	}
+	if fig == "" {
+		return nil
+	}
+	return runFigures(fig, csv, plotOut, sample, opt)
+}
+
+func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.ExperimentOptions) error {
 	emit := func(t *uvmsim.Table) {
 		switch {
-		case *csv:
+		case csv:
 			fmt.Print(t.CSV())
-		case *plotOut:
+		case plotOut:
 			rows := make([]plot.NamedRow, len(t.Rows))
 			for i, r := range t.Rows {
 				rows[i] = plot.NamedRow{Label: r.Label, Values: r.Values}
@@ -64,8 +123,8 @@ func main() {
 		fmt.Println()
 	}
 
-	figs := strings.Split(*fig, ",")
-	if *fig == "all" {
+	figs := strings.Split(fig, ",")
+	if fig == "all" {
 		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8"}
 	}
 	for _, f := range figs {
@@ -77,11 +136,11 @@ func main() {
 				fmt.Println(uvmsim.Fig2(w, opt))
 			}
 		case "3":
-			series := uvmsim.Fig3("fdtd", opt, []int{2, 4}, *sample)
+			series := uvmsim.Fig3("fdtd", opt, []int{2, 4}, sample)
 			for _, it := range []int{2, 4} {
 				fmt.Printf("Figure 3 (fdtd, iteration %d):\n%s\n", it, series[it])
 			}
-			series = uvmsim.Fig3("sssp", opt, []int{3, 5}, *sample)
+			series = uvmsim.Fig3("sssp", opt, []int{3, 5}, sample)
 			for _, it := range []int{3, 5} {
 				fmt.Printf("Figure 3 (sssp, iteration %d):\n%s\n", it, series[it])
 			}
@@ -111,8 +170,95 @@ func main() {
 			}
 			emit(uvmsim.OracleHints(hintOpt, 125))
 		default:
-			fmt.Fprintf(os.Stderr, "paperbench: unknown figure %q\n", f)
-			os.Exit(2)
+			return fmt.Errorf("unknown figure %q", f)
 		}
 	}
+	return nil
+}
+
+// runBenchSuite measures the perf-trajectory suite — the Fig. 1 and
+// Fig. 6/7 sweeps plus the event-engine microbenchmarks that guard the
+// hot path — and writes a versioned resultio.BenchSuite.
+func runBenchSuite(path string, opt uvmsim.ExperimentOptions) error {
+	benchmarks := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Fig1", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if uvmsim.Fig1(opt) == nil {
+					b.Fatal("empty figure")
+				}
+			}
+		}},
+		{"Fig6And7", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rt, th := uvmsim.Fig6And7(opt)
+				if rt == nil || th == nil {
+					b.Fatal("empty figure")
+				}
+			}
+		}},
+		{"EngineSchedule", func(b *testing.B) {
+			eng := sim.NewEngine()
+			fn := func() {}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.After(sim.Cycle(i%512), fn)
+				if eng.Pending() > 8192 {
+					eng.Run()
+				}
+			}
+			eng.Run()
+		}},
+		{"EngineRun", func(b *testing.B) {
+			eng := sim.NewEngine()
+			var fired int
+			fn := func() { fired++ }
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.After(sim.Cycle(i%64), fn)
+				if eng.Pending() > 1024 {
+					eng.RunUntil(eng.Now() + 32)
+				}
+			}
+			eng.Run()
+			if fired != b.N {
+				b.Fatalf("fired %d of %d", fired, b.N)
+			}
+		}},
+	}
+
+	suite := &resultio.BenchSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      opt.Scale,
+	}
+	for _, bm := range benchmarks {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (did it fail?)", bm.name)
+		}
+		suite.Results = append(suite.Results, resultio.BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return resultio.WriteBenchSuite(out, suite)
 }

@@ -1,15 +1,63 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"testing"
 
 	"uvmsim/internal/config"
+	"uvmsim/internal/sweep"
 )
 
 // TestRunsAreDeterministic asserts the repository-wide guarantee that
 // identical inputs produce bit-identical results: every counter, span
 // and timestamp must match across repeated runs. The experiment tables
 // and EXPERIMENTS.md rely on this.
+// fullReport renders every observable statistic of a run — all counters
+// and every kernel span — so golden comparisons catch divergence in any
+// field, not just runtime.
+func fullReport(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %+v\n", r.Workload, r.Counters)
+	for _, s := range r.Spans {
+		fmt.Fprintf(&b, "%+v\n", s)
+	}
+	return b.String()
+}
+
+// TestGoldenDeterminism is the golden regression harness for the engine
+// and driver hot-path overhaul: fdtd and sssp under Adaptive at 125%
+// oversubscription must produce byte-identical full reports across
+// repeated runs and across every sweep.Parallel worker count. Any
+// scheduling-order or pooling bug in the optimized paths shows up here
+// as a diff in some counter or span timestamp.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, name := range []string{"fdtd", "sssp"} {
+		cfg := config.Default()
+		cfg.Penalty = 8
+		run := func() string {
+			return fullReport(RunWorkload(name, 0.1, 125, config.PolicyAdaptive, cfg))
+		}
+		golden := run()
+		if again := run(); again != golden {
+			t.Fatalf("%s: back-to-back runs differ:\n--- first\n%s--- second\n%s", name, golden, again)
+		}
+		for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+			jobs := make([]func() string, 6)
+			for i := range jobs {
+				jobs[i] = run
+			}
+			for i, got := range sweep.Parallel(jobs, workers) {
+				if got != golden {
+					t.Fatalf("%s: job %d with %d workers diverged from golden:\n--- golden\n%s--- got\n%s",
+						name, i, workers, golden, got)
+				}
+			}
+		}
+	}
+}
+
 func TestRunsAreDeterministic(t *testing.T) {
 	for _, name := range []string{"sssp", "ra", "hotspot"} {
 		cfg := config.Default()

@@ -19,17 +19,23 @@ const (
 	MaxRoundTrip = 1<<RoundTripBits - 1 // 31
 )
 
-// entry holds one block's unpacked register.
+// entry holds one block's unpacked register. present marks blocks that
+// have a register at all (Tracked), which a zero count cannot convey.
 type entry struct {
-	access uint32
-	trips  uint8
+	access  uint32
+	trips   uint8
+	present bool
 }
 
 // File is the per-64KB-block counter store maintained by the driver.
-// Blocks are keyed by global basic-block number (virtual address / 64KB).
+// Blocks are keyed by global basic-block number (virtual address / 64KB);
+// those numbers are small and dense, so the registers live in a flat
+// slice indexed by block number — the counter bump on every near access
+// is a single array load away, and the halving sweeps are linear scans.
 // The zero value is not usable; call New.
 type File struct {
-	blocks map[uint64]*entry
+	blocks  []entry
+	tracked int
 
 	// Saturation statistics, exposed for tests and reports.
 	accessHalvings uint64
@@ -39,16 +45,33 @@ type File struct {
 
 // New returns an empty counter file.
 func New() *File {
-	return &File{blocks: make(map[uint64]*entry)}
+	return &File{}
 }
 
 func (f *File) get(block uint64) *entry {
-	e := f.blocks[block]
-	if e == nil {
-		e = &entry{}
-		f.blocks[block] = e
+	if block >= uint64(len(f.blocks)) {
+		n := block + 1
+		if m := uint64(2 * len(f.blocks)); m > n {
+			n = m
+		}
+		grown := make([]entry, n)
+		copy(grown, f.blocks)
+		f.blocks = grown
+	}
+	e := &f.blocks[block]
+	if !e.present {
+		e.present = true
+		f.tracked++
 	}
 	return e
+}
+
+// at returns the block's register or nil when it has none.
+func (f *File) at(block uint64) *entry {
+	if block < uint64(len(f.blocks)) && f.blocks[block].present {
+		return &f.blocks[block]
+	}
+	return nil
 }
 
 // Access records one access to the block and returns the updated count.
@@ -65,7 +88,7 @@ func (f *File) Access(block uint64) uint64 {
 
 // Count returns the block's current access count.
 func (f *File) Count(block uint64) uint64 {
-	if e := f.blocks[block]; e != nil {
+	if e := f.at(block); e != nil {
 		return uint64(e.access)
 	}
 	return 0
@@ -73,7 +96,7 @@ func (f *File) Count(block uint64) uint64 {
 
 // RoundTrips returns the block's eviction count r.
 func (f *File) RoundTrips(block uint64) uint64 {
-	if e := f.blocks[block]; e != nil {
+	if e := f.at(block); e != nil {
 		return uint64(e.trips)
 	}
 	return 0
@@ -92,7 +115,7 @@ func (f *File) NoteEviction(block uint64) {
 // ResetAccess clears the access count of one block. The driver uses this
 // when an allocation is freed.
 func (f *File) ResetAccess(block uint64) {
-	if e := f.blocks[block]; e != nil {
+	if e := f.at(block); e != nil {
 		e.access = 0
 	}
 }
@@ -100,16 +123,16 @@ func (f *File) ResetAccess(block uint64) {
 // halveAccess halves every block's access count (saturation policy).
 func (f *File) halveAccess() {
 	f.accessHalvings++
-	for _, e := range f.blocks {
-		e.access >>= 1
+	for i := range f.blocks {
+		f.blocks[i].access >>= 1
 	}
 }
 
 // halveTrips halves every block's round-trip count.
 func (f *File) halveTrips() {
 	f.tripHalvings++
-	for _, e := range f.blocks {
-		e.trips >>= 1
+	for i := range f.blocks {
+		f.blocks[i].trips >>= 1
 	}
 }
 
@@ -124,15 +147,19 @@ func (f *File) Halvings() (access, trips uint64) {
 }
 
 // Tracked returns the number of blocks with a register.
-func (f *File) Tracked() int { return len(f.blocks) }
+func (f *File) Tracked() int { return f.tracked }
 
 // SumCounts returns the total access count over a block range
 // [first, first+n). The LFU eviction policy uses this to score 2MB
 // chunks.
 func (f *File) SumCounts(first uint64, n uint64) uint64 {
 	var sum uint64
-	for b := first; b < first+n; b++ {
-		sum += f.Count(b)
+	end := first + n
+	if lim := uint64(len(f.blocks)); end > lim {
+		end = lim
+	}
+	for b := first; b < end; b++ {
+		sum += uint64(f.blocks[b].access)
 	}
 	return sum
 }
@@ -142,8 +169,12 @@ func (f *File) SumCounts(first uint64, n uint64) uint64 {
 // thrashed block.
 func (f *File) MaxRoundTrips(first uint64, n uint64) uint64 {
 	var max uint64
-	for b := first; b < first+n; b++ {
-		if r := f.RoundTrips(b); r > max {
+	end := first + n
+	if lim := uint64(len(f.blocks)); end > lim {
+		end = lim
+	}
+	for b := first; b < end; b++ {
+		if r := uint64(f.blocks[b].trips); r > max {
 			max = r
 		}
 	}

@@ -12,7 +12,6 @@ package gpu
 
 import (
 	"fmt"
-	"sort"
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/memunits"
@@ -86,25 +85,33 @@ type sm struct {
 	residentWarps int
 }
 
-// warp is the execution state of one resident warp.
+// warp is the execution state of one resident warp. Warp objects are
+// pooled across CTA dispatches: each carries its event closures, bound
+// once at construction, so steady-state execution schedules engine
+// events without allocating.
 type warp struct {
-	prog    WarpProgram
-	sm      *sm
-	cta     *ctaState
-	sectors []sector
+	prog WarpProgram
+	sm   *sm
+	cta  *ctaState
+	// sectors[:nsec] are the coalesced unique sector addresses of the
+	// current memory instruction (a warp has at most MaxLanes of them, so
+	// a fixed array doubles as the coalescer's scratch buffer).
+	sectors [MaxLanes]memunits.Addr
+	nsec    int
 	// outstanding async transactions for the current memory op.
 	outstanding int
 	// readyAt is the max completion cycle among fast-path sectors.
 	readyAt sim.Cycle
 	instr   Instr
+
+	// Prebound continuations; a warp has at most one in flight at a time.
+	stepFn   sim.Event // resume execution
+	memFn    sim.Event // issue the coalesced memory op
+	sectorFn func()    // async sector completion
+	finishFn sim.Event // retire after trailing compute
 }
 
-type sector struct {
-	addr  memunits.Addr
-	write bool
-}
-
-// ctaState tracks retirement of one CTA.
+// ctaState tracks retirement of one CTA. Pooled like warps.
 type ctaState struct {
 	warpsLeft int
 	sm        *sm
@@ -125,6 +132,11 @@ type GPU struct {
 	totalWarps   int
 	onDone       func(finish sim.Cycle)
 	running      bool
+
+	// free lists recycling warp and CTA state (and their prebound
+	// closures) across dispatches.
+	warpFree []*warp
+	ctaFree  []*ctaState
 }
 
 // New creates a GPU attached to the engine and memory backend; st
@@ -181,12 +193,44 @@ func (g *GPU) dispatchCTAs() {
 		g.nextCTA++
 		s.residentCTAs++
 		s.residentWarps += g.kernel.WarpsPerCTA
-		cs := &ctaState{warpsLeft: g.kernel.WarpsPerCTA, sm: s}
+		cs := g.newCTAState(g.kernel.WarpsPerCTA, s)
 		for wi := 0; wi < g.kernel.WarpsPerCTA; wi++ {
-			w := &warp{prog: g.kernel.NewWarp(cta, wi), sm: s, cta: cs}
-			g.step(w)
+			g.step(g.newWarp(g.kernel.NewWarp(cta, wi), s, cs))
 		}
 	}
+}
+
+// newCTAState takes a CTA record from the pool (or allocates one).
+func (g *GPU) newCTAState(warps int, s *sm) *ctaState {
+	if n := len(g.ctaFree); n > 0 {
+		cs := g.ctaFree[n-1]
+		g.ctaFree = g.ctaFree[:n-1]
+		cs.warpsLeft, cs.sm = warps, s
+		return cs
+	}
+	return &ctaState{warpsLeft: warps, sm: s}
+}
+
+// newWarp takes a warp from the pool (or allocates one, binding its
+// continuation closures exactly once) and resets it for prog.
+func (g *GPU) newWarp(prog WarpProgram, s *sm, cs *ctaState) *warp {
+	var w *warp
+	if n := len(g.warpFree); n > 0 {
+		w = g.warpFree[n-1]
+		g.warpFree = g.warpFree[:n-1]
+		w.instr = Instr{}
+		w.nsec = 0
+		w.outstanding = 0
+		w.readyAt = 0
+	} else {
+		w = &warp{}
+		w.stepFn = func() { g.step(w) }
+		w.memFn = func() { g.issueMemory(w) }
+		w.sectorFn = func() { g.sectorDone(w) }
+		w.finishFn = func() { g.finishWarp(w) }
+	}
+	w.prog, w.sm, w.cta = prog, s, cs
+	return w
 }
 
 // pickSM returns the least-loaded SM with room for one more CTA of the
@@ -229,10 +273,9 @@ func (g *GPU) step(w *warp) {
 	// includes one LSU cycle per sector, so divergent instructions pay
 	// for their fragmentation.
 	g.coalesce(w)
-	issue := computeCycles + uint64(len(w.sectors))
+	issue := computeCycles + uint64(w.nsec)
 	end := g.reserve(w.sm, issue)
-	write := w.instr.Write
-	g.eng.At(end, func() { g.issueMemory(w, write) })
+	g.eng.At(end, w.memFn)
 }
 
 // reserve occupies the SM issue port for cycles and returns the end time.
@@ -246,10 +289,12 @@ func (g *GPU) reserve(s *sm, cycles uint64) sim.Cycle {
 	return end
 }
 
-// coalesce fills w.sectors with the unique sector transactions of the
-// current instruction.
+// coalesce fills w.sectors[:w.nsec] with the unique sector addresses of
+// the current instruction. The sort is a hand-rolled insertion sort over
+// the fixed lane array: n is at most 32 and the input is often nearly
+// sorted (unit-stride lanes), so this beats sort.Slice while allocating
+// nothing.
 func (g *GPU) coalesce(w *warp) {
-	w.sectors = w.sectors[:0]
 	n := w.instr.NumAddrs
 	if n > MaxLanes {
 		panic(fmt.Sprintf("gpu: instruction with %d lanes", n))
@@ -258,29 +303,44 @@ func (g *GPU) coalesce(w *warp) {
 	for i := 0; i < n; i++ {
 		bases[i] = w.instr.Addrs[i] &^ (memunits.SectorSize - 1)
 	}
-	sort.Slice(bases[:n], func(a, b int) bool { return bases[a] < bases[b] })
+	for i := 1; i < n; i++ {
+		v := bases[i]
+		j := i - 1
+		for j >= 0 && bases[j] > v {
+			bases[j+1] = bases[j]
+			j--
+		}
+		bases[j+1] = v
+	}
+	k := 0
 	for i := 0; i < n; i++ {
 		if i > 0 && bases[i] == bases[i-1] {
 			continue
 		}
-		w.sectors = append(w.sectors, sector{addr: bases[i], write: w.instr.Write})
+		w.sectors[k] = bases[i]
+		k++
 	}
+	w.nsec = k
 }
 
 // issueMemory sends the coalesced sectors to the memory backend and
-// arranges for the warp to resume when the last one completes.
-func (g *GPU) issueMemory(w *warp, write bool) {
+// arranges for the warp to resume when the last one completes. The warp
+// does not issue another instruction until then, so reading the write
+// flag from w.instr here matches capturing it at schedule time.
+func (g *GPU) issueMemory(w *warp) {
+	write := w.instr.Write
 	w.outstanding = 0
 	w.readyAt = g.eng.Now()
-	for _, sec := range w.sectors {
-		if at, ok := g.mem.TryFastAccess(sec.addr, write); ok {
+	for i := 0; i < w.nsec; i++ {
+		addr := w.sectors[i]
+		if at, ok := g.mem.TryFastAccess(addr, write); ok {
 			if at > w.readyAt {
 				w.readyAt = at
 			}
 			continue
 		}
 		w.outstanding++
-		g.mem.Access(sec.addr, write, func() { g.sectorDone(w) })
+		g.mem.Access(addr, write, w.sectorFn)
 	}
 	if w.outstanding == 0 {
 		g.resumeAt(w, w.readyAt)
@@ -309,30 +369,38 @@ func (g *GPU) resumeAt(w *warp, at sim.Cycle) {
 		g.step(w)
 		return
 	}
-	g.eng.At(at, func() { g.step(w) })
+	g.eng.At(at, w.stepFn)
 }
 
 // retire finishes a warp after its trailing compute cycles.
 func (g *GPU) retire(w *warp, trailingCompute uint64) {
-	finish := func() {
-		g.st.WarpsRetired++
-		g.retiredWarps++
-		w.sm.residentWarps--
-		w.cta.warpsLeft--
-		if w.cta.warpsLeft == 0 {
-			w.cta.sm.residentCTAs--
-			g.dispatchCTAs()
-		}
-		if g.retiredWarps == g.totalWarps {
-			g.finish()
-		}
-	}
 	if trailingCompute == 0 {
-		finish()
+		g.finishWarp(w)
 		return
 	}
 	end := g.reserve(w.sm, trailingCompute)
-	g.eng.At(end, finish)
+	g.eng.At(end, w.finishFn)
+}
+
+// finishWarp performs retirement bookkeeping and recycles the warp (and,
+// on last retirement, its CTA record) back to the pools.
+func (g *GPU) finishWarp(w *warp) {
+	g.st.WarpsRetired++
+	g.retiredWarps++
+	w.sm.residentWarps--
+	cta := w.cta
+	w.prog, w.sm, w.cta = nil, nil, nil
+	g.warpFree = append(g.warpFree, w)
+	cta.warpsLeft--
+	if cta.warpsLeft == 0 {
+		cta.sm.residentCTAs--
+		cta.sm = nil
+		g.ctaFree = append(g.ctaFree, cta)
+		g.dispatchCTAs()
+	}
+	if g.retiredWarps == g.totalWarps {
+		g.finish()
+	}
 }
 
 // finish completes the running kernel.

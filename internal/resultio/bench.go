@@ -1,0 +1,67 @@
+package resultio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// BenchFormatVersion identifies the benchmark-suite schema; bump on
+// incompatible changes.
+const BenchFormatVersion = 1
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// BenchSuite is an archived set of benchmark measurements — the perf
+// trajectory of the simulator. Suites carry enough environment context
+// (Go version, host parallelism, workload scale) to judge whether two
+// measurements are comparable before comparing them.
+type BenchSuite struct {
+	Version    int           `json:"version"`
+	GoVersion  string        `json:"goVersion"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      float64       `json:"scale"`
+	Results    []BenchResult `json:"results"`
+}
+
+// WriteBenchSuite emits the suite as indented JSON.
+func WriteBenchSuite(w io.Writer, s *BenchSuite) error {
+	if s.Version == 0 {
+		s.Version = BenchFormatVersion
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadBenchSuite parses and validates one suite.
+func ReadBenchSuite(r io.Reader) (*BenchSuite, error) {
+	var s BenchSuite
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("resultio: %w", err)
+	}
+	if s.Version != BenchFormatVersion {
+		return nil, fmt.Errorf("resultio: unsupported bench suite version %d (want %d)", s.Version, BenchFormatVersion)
+	}
+	if len(s.Results) == 0 {
+		return nil, fmt.Errorf("resultio: bench suite has no results")
+	}
+	for i, b := range s.Results {
+		if b.Name == "" {
+			return nil, fmt.Errorf("resultio: bench result %d missing name", i)
+		}
+		if b.NsPerOp < 0 || b.AllocsPerOp < 0 || b.BytesPerOp < 0 || b.Iterations <= 0 {
+			return nil, fmt.Errorf("resultio: bench result %q has invalid measurements", b.Name)
+		}
+	}
+	return &s, nil
+}

@@ -1,0 +1,69 @@
+package resultio
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func sampleSuite() *BenchSuite {
+	return &BenchSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      0.25,
+		Results: []BenchResult{
+			{Name: "Fig6And7", Iterations: 2, NsPerOp: 1.5e9, AllocsPerOp: 1000, BytesPerOp: 4096},
+			{Name: "EngineSchedule", Iterations: 1e6, NsPerOp: 120, AllocsPerOp: 0, BytesPerOp: 0},
+		},
+	}
+}
+
+func TestBenchSuiteRoundTrip(t *testing.T) {
+	s := sampleSuite()
+	var buf bytes.Buffer
+	if err := WriteBenchSuite(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != BenchFormatVersion || got.Scale != 0.25 || len(got.Results) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Results[0] != s.Results[0] || got.Results[1] != s.Results[1] {
+		t.Fatalf("results differ: %+v vs %+v", got.Results, s.Results)
+	}
+}
+
+func TestBenchSuiteRejectsBadVersion(t *testing.T) {
+	s := sampleSuite()
+	s.Version = BenchFormatVersion + 1
+	var buf bytes.Buffer
+	if err := WriteBenchSuite(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchSuite(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+}
+
+func TestBenchSuiteRejectsInvalidResults(t *testing.T) {
+	for name, mutate := range map[string]func(*BenchSuite){
+		"empty":     func(s *BenchSuite) { s.Results = nil },
+		"noName":    func(s *BenchSuite) { s.Results[0].Name = "" },
+		"negative":  func(s *BenchSuite) { s.Results[0].NsPerOp = -1 },
+		"zeroIters": func(s *BenchSuite) { s.Results[1].Iterations = 0 },
+	} {
+		s := sampleSuite()
+		mutate(s)
+		var buf bytes.Buffer
+		if err := WriteBenchSuite(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadBenchSuite(&buf); err == nil {
+			t.Fatalf("%s: invalid suite accepted", name)
+		}
+	}
+}

@@ -5,10 +5,22 @@
 // All simulated time is expressed in GPU core cycles (uint64). Events
 // scheduled for the same cycle fire in FIFO order of scheduling, which
 // makes every simulation run bit-for-bit reproducible.
+//
+// # Performance model
+//
+// The queue is a hand-rolled 4-ary min-heap over pointer-free 24-byte
+// entries (cycle, sequence number, slot index); event closures live in a
+// free-listed slot arena beside the heap. Sifting therefore moves small
+// scalar values with no write barriers and no interface boxing, and a
+// warmed engine schedules and dispatches events with zero heap
+// allocations (asserted by engine_alloc_test.go). Events scheduled for
+// the current cycle while the queue is hot bypass the heap entirely and
+// go to a same-cycle FIFO ring, which preserves global (cycle, seq)
+// order because every ring entry was necessarily sequenced after every
+// same-cycle heap entry.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -22,32 +34,38 @@ const MaxCycle Cycle = math.MaxUint64
 // Event is a callback scheduled to run at a particular cycle.
 type Event func()
 
-// item is a scheduled event inside the queue.
-type item struct {
-	at  Cycle
-	seq uint64 // FIFO tie-breaker for events at the same cycle
-	fn  Event
+// EventID identifies a scheduled event for cancellation. The zero value
+// is never a valid ID.
+type EventID uint64
+
+// entry is one scheduled event's heap key. It is deliberately free of
+// pointers: heap sifts move entries with plain 24-byte copies and no GC
+// write barriers. The closure itself lives in the slot arena.
+type entry struct {
+	at   Cycle
+	seq  uint64
+	slot int32
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []item
+// less orders entries by (at, seq); seq is unique, so this is a strict
+// total order and heap layout can never influence dispatch order.
+func less(a, b entry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// slot holds one pending event closure in the arena. Free slots are
+// chained through next; free-list links are 1-based so that the zero
+// value of Engine (free == 0) means "no free slots".
+type slot struct {
+	fn   Event
+	next int32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
+
+// arity is the heap fan-out. A 4-ary heap halves the depth of the
+// pop-side sift (the hot operation: the profile is pop-dominated) at the
+// cost of three comparisons per level, which is a net win because the
+// children share a cache line pair.
+const arity = 4
 
 // Engine is a deterministic discrete-event simulator.
 //
@@ -55,9 +73,24 @@ func (h *eventHeap) Pop() interface{} {
 // the entire simulation is single-threaded by design so that runs are
 // reproducible.
 type Engine struct {
-	now    Cycle
-	seq    uint64
-	queue  eventHeap
+	now Cycle
+	seq uint64
+
+	// heap is the 4-ary min-heap of future events ordered by (at, seq).
+	heap []entry
+	// ring is the FIFO of events scheduled for the current cycle; see the
+	// package comment for why draining it after same-cycle heap entries
+	// preserves (at, seq) order. ringHead indexes the first live element.
+	ring     []entry
+	ringHead int
+
+	// slots is the closure arena; free is the 1-based free-list head
+	// (0 = none).
+	slots []slot
+	free  int32
+
+	// live counts scheduled-but-unfired events, excluding canceled ones.
+	live   int
 	fired  uint64
 	budget uint64 // optional safety cap on fired events; 0 = unlimited
 }
@@ -77,12 +110,34 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // loud failure instead of an infinite loop.
 func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
 
-// Pending reports the number of scheduled-but-unfired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of scheduled-but-unfired events (canceled
+// events are not counted).
+func (e *Engine) Pending() int { return e.live }
 
-// At schedules fn to run at absolute cycle at. Scheduling in the past
-// (at < Now) panics: it always indicates a model bug.
-func (e *Engine) At(at Cycle, fn Event) {
+// allocSlot stores fn in the arena and returns its index.
+func (e *Engine) allocSlot(fn Event) int32 {
+	if e.free != 0 {
+		s := e.free - 1
+		e.free = e.slots[s].next
+		e.slots[s].fn = fn
+		return s
+	}
+	e.slots = append(e.slots, slot{fn: fn})
+	return int32(len(e.slots) - 1)
+}
+
+// takeSlot removes and returns the closure of slot s, releasing it to
+// the free list.
+func (e *Engine) takeSlot(s int32) Event {
+	fn := e.slots[s].fn
+	e.slots[s].fn = nil
+	e.slots[s].next = e.free
+	e.free = s + 1
+	return fn
+}
+
+// schedule enqueues fn at absolute cycle at and returns its ID.
+func (e *Engine) schedule(at Cycle, fn Event) EventID {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
@@ -90,25 +145,160 @@ func (e *Engine) At(at Cycle, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event in the past (at=%d now=%d)", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, item{at: at, seq: e.seq, fn: fn})
+	en := entry{at: at, seq: e.seq, slot: e.allocSlot(fn)}
+	if at == e.now {
+		// Same-cycle fast path: FIFO ring instead of the heap. Every heap
+		// entry at this cycle was sequenced earlier (pushes require
+		// at > now at push time, or went to the ring themselves), so
+		// draining heap-then-ring at this cycle is exact (at, seq) order.
+		e.ring = append(e.ring, en)
+	} else {
+		e.pushHeap(en)
+	}
+	e.live++
+	return EventID(e.seq)
 }
 
+// At schedules fn to run at absolute cycle at. Scheduling in the past
+// (at < Now) panics: it always indicates a model bug.
+func (e *Engine) At(at Cycle, fn Event) { e.schedule(at, fn) }
+
 // After schedules fn to run delay cycles from now.
-func (e *Engine) After(delay Cycle, fn Event) { e.At(e.now+delay, fn) }
+func (e *Engine) After(delay Cycle, fn Event) { e.schedule(e.now+delay, fn) }
+
+// Schedule is At returning an EventID usable with Cancel.
+func (e *Engine) Schedule(at Cycle, fn Event) EventID { return e.schedule(at, fn) }
+
+// ScheduleAfter is After returning an EventID usable with Cancel.
+func (e *Engine) ScheduleAfter(delay Cycle, fn Event) EventID {
+	return e.schedule(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event before it fires. It reports whether
+// the event was still pending. Cancellation is lazy: the entry is
+// tombstoned in place (its closure dropped) and skipped at dispatch, so
+// Cancel costs a linear scan but adds nothing to the hot path.
+func (e *Engine) Cancel(id EventID) bool {
+	seq := uint64(id)
+	if seq == 0 || seq > e.seq {
+		return false
+	}
+	for i := range e.heap {
+		if e.heap[i].seq == seq {
+			return e.tombstone(e.heap[i].slot)
+		}
+	}
+	for i := e.ringHead; i < len(e.ring); i++ {
+		if e.ring[i].seq == seq {
+			return e.tombstone(e.ring[i].slot)
+		}
+	}
+	return false
+}
+
+// tombstone drops the slot's closure so dispatch skips the entry.
+func (e *Engine) tombstone(s int32) bool {
+	if e.slots[s].fn == nil {
+		return false
+	}
+	e.slots[s].fn = nil
+	e.live--
+	return true
+}
+
+// pushHeap inserts en, sifting up.
+func (e *Engine) pushHeap(en entry) {
+	e.heap = append(e.heap, en)
+	i := len(e.heap) - 1
+	for i > 0 {
+		p := (i - 1) / arity
+		if !less(en, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		i = p
+	}
+	e.heap[i] = en
+}
+
+// popHeap removes and returns the minimum entry.
+func (e *Engine) popHeap() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	en := h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		// Sift the displaced last entry down from the root.
+		i := 0
+		for {
+			first := i*arity + 1
+			if first >= n {
+				break
+			}
+			min := first
+			last := first + arity
+			if last > n {
+				last = n
+			}
+			for c := first + 1; c < last; c++ {
+				if less(h[c], h[min]) {
+					min = c
+				}
+			}
+			if !less(h[min], en) {
+				break
+			}
+			h[i] = h[min]
+			i = min
+		}
+		h[i] = en
+	}
+	return top
+}
+
+// next dequeues the earliest pending entry in (at, seq) order, or
+// ok=false when the engine is drained. Tombstoned (canceled) entries are
+// discarded without advancing the clock.
+func (e *Engine) next() (entry, Event, bool) {
+	for {
+		var en entry
+		switch {
+		case len(e.heap) > 0 && e.heap[0].at <= e.now:
+			// Same-cycle heap entries precede every ring entry (smaller seq).
+			en = e.popHeap()
+		case e.ringHead < len(e.ring):
+			en = e.ring[e.ringHead]
+			e.ringHead++
+			if e.ringHead == len(e.ring) {
+				e.ring = e.ring[:0]
+				e.ringHead = 0
+			}
+		case len(e.heap) > 0:
+			en = e.popHeap()
+		default:
+			return entry{}, nil, false
+		}
+		if fn := e.takeSlot(en.slot); fn != nil {
+			return en, fn, true
+		}
+	}
+}
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	en, fn, ok := e.next()
+	if !ok {
 		return false
 	}
-	it := heap.Pop(&e.queue).(item)
-	e.now = it.at
+	e.now = en.at
+	e.live--
 	e.fired++
 	if e.budget != 0 && e.fired > e.budget {
 		panic(fmt.Sprintf("sim: event budget %d exceeded at cycle %d", e.budget, e.now))
 	}
-	it.fn()
+	fn()
 	return true
 }
 
@@ -119,15 +309,44 @@ func (e *Engine) Run() Cycle {
 	return e.now
 }
 
+// headAt returns the timestamp of the earliest live event, discarding
+// canceled entries at the front, with ok=false when nothing is pending.
+func (e *Engine) headAt() (Cycle, bool) {
+	for len(e.heap) > 0 && e.slots[e.heap[0].slot].fn == nil {
+		en := e.popHeap()
+		e.takeSlot(en.slot)
+	}
+	for e.ringHead < len(e.ring) && e.slots[e.ring[e.ringHead].slot].fn == nil {
+		e.takeSlot(e.ring[e.ringHead].slot)
+		e.ringHead++
+	}
+	if e.ringHead == len(e.ring) && e.ringHead > 0 {
+		e.ring = e.ring[:0]
+		e.ringHead = 0
+	}
+	if e.ringHead < len(e.ring) {
+		// Live ring entries are always at the current cycle.
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].at, true
+	}
+	return 0, false
+}
+
 // RunUntil fires events whose timestamp is <= deadline, then advances the
 // clock to deadline (if it is later than the last event). It reports
 // whether any events remain pending beyond the deadline.
 func (e *Engine) RunUntil(deadline Cycle) bool {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		at, ok := e.headAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return len(e.queue) > 0
+	return e.live > 0
 }

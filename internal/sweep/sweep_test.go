@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestParallelOrderPreserved(t *testing.T) {
@@ -89,6 +92,80 @@ func TestParallelPanicsPropagate(t *testing.T) {
 		}
 	}()
 	Parallel(jobs, 2)
+}
+
+// TestParallelPanicNoDeadlock is the regression test for the abort
+// path: panicking jobs scattered through a large sweep must neither
+// deadlock the remaining workers nor hang Parallel itself.
+func TestParallelPanicNoDeadlock(t *testing.T) {
+	jobs := make([]func() int, 256)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() int {
+			if i%32 == 5 {
+				panic("boom")
+			}
+			return i
+		}
+	}
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Parallel(jobs, 8)
+	}()
+	select {
+	case r := <-done:
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Parallel deadlocked after a job panicked")
+	}
+}
+
+// TestParallelPanicValueIdentity asserts the caller receives the
+// original panic value, not a copy or wrapper.
+func TestParallelPanicValueIdentity(t *testing.T) {
+	val := errors.New("original panic value")
+	defer func() {
+		if r := recover(); r != error(val) {
+			t.Fatalf("recovered %v (%T), want the original error value", r, r)
+		}
+	}()
+	Parallel([]func() int{func() int { panic(val) }}, 2)
+}
+
+// TestParallelPanicAbortsClaiming pins the abort semantics: once every
+// worker has hit a panic, no further jobs are claimed. Two workers run
+// two jobs that rendezvous and then panic together; none of the
+// remaining jobs may execute.
+func TestParallelPanicAbortsClaiming(t *testing.T) {
+	var executed int64
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	rendezvousPanic := func() int {
+		barrier.Done()
+		barrier.Wait()
+		panic("abort")
+	}
+	jobs := []func() int{rendezvousPanic, rendezvousPanic}
+	for i := 0; i < 100; i++ {
+		jobs = append(jobs, func() int {
+			atomic.AddInt64(&executed, 1)
+			return 0
+		})
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != "abort" {
+				t.Fatalf("recovered %v, want abort", r)
+			}
+		}()
+		Parallel(jobs, 2)
+	}()
+	if n := atomic.LoadInt64(&executed); n != 0 {
+		t.Fatalf("%d jobs ran after every worker aborted, want 0", n)
+	}
 }
 
 func TestGridIndexing(t *testing.T) {

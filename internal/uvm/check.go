@@ -22,13 +22,16 @@ import (
 //  5. Queued/in-flight counters are non-negative and zero when idle.
 func (d *Driver) CheckConsistency() error {
 	var residentPages, inFlightPages uint64
-	for num, cs := range d.chunks {
+	for num, cs := range d.chunkArr {
+		if cs == nil {
+			continue
+		}
 		first := cs.info.FirstBlock()
 		n := cs.info.Blocks()
 		tree := cs.pf.Tree()
 		var resident int
 		for b := first; b < first+n; b++ {
-			bs := d.blocks[b]
+			bs := d.blockAt(b)
 			var isResident, isPending bool
 			if bs != nil {
 				isResident, isPending = bs.resident, bs.pending
@@ -68,8 +71,8 @@ func (d *Driver) CheckConsistency() error {
 			d.mem.AllocatedPages(), residentPages, inFlightPages)
 	}
 	if !d.PendingWork() {
-		for b, bs := range d.blocks {
-			if bs.pending {
+		for b := range d.blockArr {
+			if d.blockArr[b].pending {
 				return fmt.Errorf("uvm: idle driver but block %d still pending", b)
 			}
 		}

@@ -87,14 +87,14 @@ func TestConsistencyDetectsCorruption(t *testing.T) {
 	r := newRig(t, nil, 4<<20)
 	r.syncAccess(t, r.a.Base, false)
 	// Corrupt: flip residency without fixing the tree or accounting.
-	bs := r.d.blocks[memunits.BlockOf(r.a.Base)]
+	bs := r.d.block(memunits.BlockOf(r.a.Base))
 	bs.resident = false
 	if err := r.d.CheckConsistency(); err == nil {
 		t.Fatal("checker accepted corrupted state")
 	}
 	bs.resident = true
 	// Corrupt the chunk counter instead.
-	cs := r.d.chunks[memunits.ChunkOf(r.a.Base)]
+	cs := r.d.chunk(memunits.ChunkOf(r.a.Base))
 	cs.residentBlocks++
 	if err := r.d.CheckConsistency(); err == nil {
 		t.Fatal("checker accepted corrupted residentBlocks")

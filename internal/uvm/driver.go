@@ -8,6 +8,13 @@
 // The driver is the meeting point of every substrate package: it consumes
 // memory transactions from the GPU model and turns them into near
 // accesses, remote accesses, or far-faults with migrations and evictions.
+//
+// The per-block and per-chunk state lives in dense slices indexed by
+// block/chunk number rather than maps: the managed address space starts
+// at the first chunk boundary and stays small and contiguous, so direct
+// indexing makes the dominant near-access path a couple of array loads,
+// and index-order iteration replaces the map-order-plus-sort dance the
+// eviction paths previously needed for determinism.
 package uvm
 
 import (
@@ -57,7 +64,10 @@ func (k AccessKind) String() string {
 // Trace collection (Figs. 2 and 3) hangs off this hook.
 type AccessObserver func(now sim.Cycle, addr memunits.Addr, write bool, kind AccessKind)
 
-// blockState tracks one 64KB basic block.
+// blockState tracks one 64KB basic block. The zero value means "never
+// touched": not resident, not pending, no waiters — exactly the
+// semantics an absent map entry used to have, which is what lets block
+// state live in a plain value slice.
 type blockState struct {
 	resident bool
 	// pending is true from the moment a fault is raised (or the block is
@@ -112,15 +122,40 @@ type Driver struct {
 	ctrs    *counters.File
 	st      stats.Counters
 
-	blocks map[memunits.BlockNum]*blockState
-	chunks map[memunits.ChunkNum]*chunkState
+	// blockArr is indexed by global block number; entries are values, so
+	// a *blockState from block/blockAt must never be held across another
+	// block() call — growth moves the array. chunkArr holds pointers
+	// (chunkState outlives events via queued migrations) and is indexed
+	// by chunk number; nil means not yet materialized.
+	blockArr []blockState
+	chunkArr []*chunkState
 
-	// batch is the set of fault entries accumulated for the next
-	// processing round (nil when no round is scheduled).
-	batch []memunits.BlockNum
+	// batch accumulates fault entries for the next processing round;
+	// batchScheduled is true while a round is pending. The spare buffer
+	// is swapped in when a round closes so batch never reallocates in
+	// steady state.
+	batch          []memunits.BlockNum
+	batchSpare     []memunits.BlockNum
+	batchScheduled bool
+	processBatchFn sim.Event
 
-	// waiting is the FIFO of migrations blocked on device capacity.
-	waiting []migration
+	// waiting is the FIFO of migrations blocked on device capacity,
+	// drained in place through waitHead and compacted between drains.
+	waiting  []migration
+	waitHead int
+	drainFn  func()
+
+	// Free lists recycling the two per-migration allocations of the
+	// fault path: block lists (migration.blocks) and waiter lists
+	// (blockState.waiters).
+	blockListFree [][]memunits.BlockNum
+	waiterFree    [][]func()
+
+	// Eviction-path scratch, reused across victim selections.
+	candScratch  []evict.Candidate
+	chunkScratch []*chunkState
+	numScratch   []memunits.BlockNum
+	ownerScratch []*chunkState
 
 	// advice holds per-allocation placement hints (see advise.go),
 	// keyed by allocation ID.
@@ -137,7 +172,7 @@ func New(eng *sim.Engine, cfg config.Config, space *alloc.Space) *Driver {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("uvm: %v", err))
 	}
-	return &Driver{
+	d := &Driver{
 		eng:          eng,
 		cfg:          cfg,
 		space:        space,
@@ -146,11 +181,12 @@ func New(eng *sim.Engine, cfg config.Config, space *alloc.Space) *Driver {
 		decider:      policy.NewDecider(cfg),
 		replace:      evict.New(cfg.Replacement),
 		ctrs:         counters.New(),
-		blocks:       make(map[memunits.BlockNum]*blockState),
-		chunks:       make(map[memunits.ChunkNum]*chunkState),
 		faultLatency: cfg.FarFaultLatencyCycles(),
 		gmmuTLB:      newTLB(cfg.TLBEntries),
 	}
+	d.processBatchFn = d.processBatch
+	d.drainFn = d.drainWaiting
+	return d
 }
 
 // translate performs the GMMU TLB lookup for the page containing addr
@@ -193,37 +229,107 @@ func (d *Driver) Finalize() {
 // PendingWork reports whether any migrations are queued or in flight —
 // used by integration tests to assert clean quiescence.
 func (d *Driver) PendingWork() bool {
-	if len(d.waiting) > 0 || d.batch != nil {
+	if len(d.waiting) > d.waitHead || d.batchScheduled {
 		return true
 	}
-	for _, cs := range d.chunks {
-		if cs.queuedBlocks > 0 || cs.inFlightBlocks > 0 {
+	for _, cs := range d.chunkArr {
+		if cs != nil && (cs.queuedBlocks > 0 || cs.inFlightBlocks > 0) {
 			return true
 		}
 	}
 	return false
 }
 
+// block returns the state slot for b, growing the array to cover it.
+// The pointer is only valid until the next block() call.
 func (d *Driver) block(b memunits.BlockNum) *blockState {
-	bs := d.blocks[b]
-	if bs == nil {
-		bs = &blockState{}
-		d.blocks[b] = bs
+	if b >= memunits.BlockNum(len(d.blockArr)) {
+		n := uint64(b) + 1
+		if m := uint64(2 * len(d.blockArr)); m > n {
+			n = m
+		}
+		grown := make([]blockState, n)
+		copy(grown, d.blockArr)
+		d.blockArr = grown
 	}
-	return bs
+	return &d.blockArr[b]
 }
 
-func (d *Driver) chunk(c memunits.ChunkNum) *chunkState {
-	cs := d.chunks[c]
-	if cs == nil {
-		_, info, ok := d.space.FindChunk(c)
-		if !ok {
-			panic(fmt.Sprintf("uvm: access to unallocated chunk %d", c))
-		}
-		cs = &chunkState{info: info, pf: prefetch.NewChunk(d.cfg.Prefetcher, int(info.Blocks()))}
-		d.chunks[c] = cs
+// blockAt returns the state slot for b without growing, or nil when the
+// array does not cover it (equivalent to a never-touched block).
+func (d *Driver) blockAt(b memunits.BlockNum) *blockState {
+	if b < memunits.BlockNum(len(d.blockArr)) {
+		return &d.blockArr[b]
 	}
+	return nil
+}
+
+// chunk returns the chunk state, materializing it on first touch.
+func (d *Driver) chunk(c memunits.ChunkNum) *chunkState {
+	if cs := d.chunkAt(c); cs != nil {
+		return cs
+	}
+	_, info, ok := d.space.FindChunk(c)
+	if !ok {
+		panic(fmt.Sprintf("uvm: access to unallocated chunk %d", c))
+	}
+	cs := &chunkState{info: info, pf: prefetch.NewChunk(d.cfg.Prefetcher, int(info.Blocks()))}
+	if c >= memunits.ChunkNum(len(d.chunkArr)) {
+		n := uint64(c) + 1
+		if m := uint64(2 * len(d.chunkArr)); m > n {
+			n = m
+		}
+		grown := make([]*chunkState, n)
+		copy(grown, d.chunkArr)
+		d.chunkArr = grown
+	}
+	d.chunkArr[c] = cs
 	return cs
+}
+
+// chunkAt returns the chunk state or nil when not materialized.
+func (d *Driver) chunkAt(c memunits.ChunkNum) *chunkState {
+	if c < memunits.ChunkNum(len(d.chunkArr)) {
+		return d.chunkArr[c]
+	}
+	return nil
+}
+
+// takeBlockList pops a recycled migration block list with at least the
+// given capacity.
+func (d *Driver) takeBlockList(capHint int) []memunits.BlockNum {
+	if k := len(d.blockListFree); k > 0 {
+		l := d.blockListFree[k-1]
+		d.blockListFree = d.blockListFree[:k-1]
+		return l[:0]
+	}
+	return make([]memunits.BlockNum, 0, capHint)
+}
+
+func (d *Driver) putBlockList(l []memunits.BlockNum) {
+	if cap(l) > 0 {
+		d.blockListFree = append(d.blockListFree, l[:0])
+	}
+}
+
+// takeWaiterList pops a recycled waiter list.
+func (d *Driver) takeWaiterList() []func() {
+	if k := len(d.waiterFree); k > 0 {
+		l := d.waiterFree[k-1]
+		d.waiterFree = d.waiterFree[:k-1]
+		return l
+	}
+	return make([]func(), 0, 4)
+}
+
+func (d *Driver) putWaiterList(l []func()) {
+	if cap(l) == 0 {
+		return
+	}
+	for i := range l {
+		l[i] = nil // drop closure references before recycling
+	}
+	d.waiterFree = append(d.waiterFree, l[:0])
 }
 
 func (d *Driver) memState() policy.MemState {
@@ -240,19 +346,18 @@ func (d *Driver) memState() policy.MemState {
 // so that the dominant near-access case costs no event-queue traffic.
 func (d *Driver) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool) {
 	b := memunits.BlockOf(addr)
-	bs := d.blocks[b]
+	bs := d.blockAt(b)
 	if bs == nil || !bs.resident {
 		return 0, false
 	}
 	walk := d.translate(addr)
-	d.ctrs.Access(b)
+	d.ctrs.Access(uint64(b))
 	now := d.eng.Now()
 	bs.lastAccess = now
 	if write {
 		bs.dirty = true
 	}
-	cs := d.chunks[memunits.ChunkOf(addr)]
-	if cs != nil {
+	if cs := d.chunkAt(memunits.ChunkOf(addr)); cs != nil {
 		cs.lastAccess = now
 	}
 	d.st.NearAccesses++
@@ -290,9 +395,12 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 
 	if bs.pending {
 		// Migration already underway: merge.
-		d.ctrs.Access(b)
+		d.ctrs.Access(uint64(b))
 		if write {
 			bs.pendingDirty = true
+		}
+		if bs.waiters == nil {
+			bs.waiters = d.takeWaiterList()
 		}
 		bs.waiters = append(bs.waiters, done)
 		if d.obs != nil {
@@ -301,7 +409,7 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 		return
 	}
 
-	count := d.ctrs.Access(b)
+	count := d.ctrs.Access(uint64(b))
 	var migrate bool
 	switch d.adviceFor(owner) {
 	case AdvicePinHost:
@@ -312,7 +420,7 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 		migrate = write || count >= d.cfg.StaticThreshold
 	default:
 		ms := d.memState()
-		r := d.ctrs.RoundTrips(b)
+		r := d.ctrs.RoundTrips(uint64(b))
 		migrate = (write && d.cfg.WriteMigrates) || d.decider.ShouldMigrate(count, ms, r)
 	}
 	if !migrate {
@@ -353,11 +461,15 @@ func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
 	if write {
 		bs.pendingDirty = true
 	}
+	if bs.waiters == nil {
+		bs.waiters = d.takeWaiterList()
+	}
 	bs.waiters = append(bs.waiters, done)
 	d.st.FarFaults++
-	if d.batch == nil {
+	if !d.batchScheduled {
+		d.batchScheduled = true
 		d.st.FaultBatches++
-		d.eng.After(d.faultLatency, d.processBatch)
+		d.eng.After(d.faultLatency, d.processBatchFn)
 	}
 	d.batch = append(d.batch, b)
 }
@@ -366,7 +478,8 @@ func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
 // in the closing batch.
 func (d *Driver) processBatch() {
 	batch := d.batch
-	d.batch = nil
+	d.batch, d.batchSpare = d.batchSpare[:0], batch
+	d.batchScheduled = false
 	for _, b := range batch {
 		bs := d.block(b)
 		if bs.resident || bs.scheduled {
@@ -376,7 +489,7 @@ func (d *Driver) processBatch() {
 		cs := d.chunk(memunits.ChunkOfBlock(b))
 		first := cs.info.FirstBlock()
 		leaves := cs.pf.OnFault(int(b - first))
-		blocks := make([]memunits.BlockNum, 0, len(leaves))
+		blocks := d.takeBlockList(len(leaves))
 		for _, leaf := range leaves {
 			blk := first + memunits.BlockNum(uint64(leaf))
 			ebs := d.block(blk)
@@ -390,6 +503,7 @@ func (d *Driver) processBatch() {
 			blocks = append(blocks, blk)
 		}
 		if len(blocks) == 0 {
+			d.putBlockList(blocks)
 			continue
 		}
 		cs.queuedBlocks += len(blocks)
@@ -402,19 +516,35 @@ func (d *Driver) processBatch() {
 // needed. It stops when the head migration cannot obtain capacity even
 // after eviction (it will be retried when in-flight work completes).
 func (d *Driver) drainWaiting() {
-	for len(d.waiting) > 0 {
-		m := d.waiting[0]
+	for d.waitHead < len(d.waiting) {
+		m := d.waiting[d.waitHead]
 		need := uint64(len(m.blocks)) * memunits.PagesPerBlock
 		if need > d.mem.TotalPages() {
 			panic(fmt.Sprintf("uvm: migration of %d pages exceeds device capacity %d", need, d.mem.TotalPages()))
 		}
+		stuck := false
 		for !d.mem.CanAllocate(need) {
 			if !d.evictOne(m.cs) {
-				return // retried on the next completion event
+				stuck = true // retried on the next completion event
+				break
 			}
 		}
-		d.waiting = d.waiting[1:]
+		if stuck {
+			break
+		}
+		d.waiting[d.waitHead] = migration{}
+		d.waitHead++
 		d.dispatch(m)
+	}
+	// Compact so appends reuse the backing array and PendingWork can
+	// test len alone.
+	if d.waitHead > 0 {
+		n := copy(d.waiting, d.waiting[d.waitHead:])
+		for i := n; i < len(d.waiting); i++ {
+			d.waiting[i] = migration{}
+		}
+		d.waiting = d.waiting[:n]
+		d.waitHead = 0
 	}
 }
 
@@ -455,10 +585,12 @@ func (d *Driver) landMigration(m migration) {
 			d.st.NearAccesses++
 			d.eng.After(sim.Cycle(d.cfg.DRAMLatency), w)
 		}
+		d.putWaiterList(waiters)
 	}
 	m.cs.inFlightBlocks -= len(m.blocks)
 	m.cs.residentBlocks += len(m.blocks)
 	m.cs.lastAccess = now
+	d.putBlockList(m.blocks)
 	d.drainWaiting()
 }
 
@@ -490,11 +622,13 @@ func (d *Driver) evictChunkGranularity(dest *chunkState) bool {
 }
 
 func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
-	var cands []evict.Candidate
-	var states []*chunkState
+	// Index-order iteration keeps the candidate list sorted by unit
+	// number, which is what victim selection's determinism relies on.
+	cands := d.candScratch[:0]
+	states := d.chunkScratch[:0]
 	now := d.eng.Now()
-	for num, cs := range d.chunks {
-		if cs.residentBlocks == 0 || cs == dest {
+	for num, cs := range d.chunkArr {
+		if cs == nil || cs.residentBlocks == 0 || cs == dest {
 			continue
 		}
 		pinned := cs.inFlightBlocks > 0
@@ -510,17 +644,16 @@ func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
 		first := cs.info.FirstBlock()
 		n := cs.info.Blocks()
 		cands = append(cands, evict.Candidate{
-			Unit:       num,
+			Unit:       uint64(num),
 			LastAccess: cs.lastAccess,
-			Score:      d.ctrs.SumCounts(first, n),
+			Score:      d.ctrs.SumCounts(uint64(first), n),
 			Dirty:      d.chunkDirty(cs),
 			Full:       cs.pf.Tree().Full(),
 			Pinned:     pinned,
 		})
 		states = append(states, cs)
 	}
-	// Map iteration order is random; normalize for determinism.
-	sortCandidates(cands, states)
+	d.candScratch, d.chunkScratch = cands, states
 	idx, ok := d.replace.SelectVictim(cands)
 	if !ok {
 		return nil
@@ -530,8 +663,8 @@ func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
 
 func (d *Driver) chunkDirty(cs *chunkState) bool {
 	first := cs.info.FirstBlock()
-	for b := first; b < first+cs.info.Blocks(); b++ {
-		if bs := d.blocks[b]; bs != nil && bs.resident && bs.dirty {
+	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
+		if bs := d.blockAt(b); bs != nil && bs.resident && bs.dirty {
 			return true
 		}
 	}
@@ -543,13 +676,13 @@ func (d *Driver) chunkDirty(cs *chunkState) bool {
 func (d *Driver) evictChunk(cs *chunkState) {
 	first := cs.info.FirstBlock()
 	var evictedBlocks, dirtyBlocks uint64
-	for b := first; b < first+cs.info.Blocks(); b++ {
-		bs := d.blocks[b]
+	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
+		bs := d.blockAt(b)
 		if bs == nil || !bs.resident {
 			continue
 		}
 		bs.resident = false
-		d.ctrs.NoteEviction(b)
+		d.ctrs.NoteEviction(uint64(b))
 		bs.everEvicted = true
 		evictedBlocks++
 		if bs.dirty {
@@ -566,8 +699,8 @@ func (d *Driver) evictChunk(cs *chunkState) {
 	// remain claimed.
 	tree := cs.pf.Tree()
 	tree.Clear()
-	for b := first; b < first+cs.info.Blocks(); b++ {
-		if bs := d.blocks[b]; bs != nil && bs.pending {
+	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
+		if bs := d.blockAt(b); bs != nil && bs.pending {
 			tree.MarkOccupied(int(b - first))
 		}
 	}
@@ -577,26 +710,29 @@ func (d *Driver) evictChunk(cs *chunkState) {
 // evictBlockGranularity implements the 64KB-granularity ablation.
 func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
 	now := d.eng.Now()
-	collect := func(strict bool) ([]evict.Candidate, []memunits.BlockNum, []*chunkState) {
-		var cands []evict.Candidate
-		var nums []memunits.BlockNum
-		var owners []*chunkState
-		for _, cs := range d.chunks {
-			if cs.residentBlocks == 0 || cs == dest {
+	collect := func(strict bool) []evict.Candidate {
+		cands := d.candScratch[:0]
+		nums := d.numScratch[:0]
+		owners := d.ownerScratch[:0]
+		// Chunk-index order implies ascending block numbers: a chunk's
+		// blocks are contiguous, so the candidate list comes out sorted
+		// by unit without any extra work.
+		for _, cs := range d.chunkArr {
+			if cs == nil || cs.residentBlocks == 0 || cs == dest {
 				continue
 			}
 			first := cs.info.FirstBlock()
-			for b := first; b < first+cs.info.Blocks(); b++ {
-				bs := d.blocks[b]
+			for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
+				bs := d.blockAt(b)
 				if bs == nil || !bs.resident {
 					continue
 				}
 				recent := strict && d.cfg.EvictionRecencyGuard > 0 &&
 					now-bs.lastAccess < d.cfg.EvictionRecencyGuard
 				cands = append(cands, evict.Candidate{
-					Unit:       b,
+					Unit:       uint64(b),
 					LastAccess: bs.lastAccess,
-					Score:      d.ctrs.Count(b),
+					Score:      d.ctrs.Count(uint64(b)),
 					Dirty:      bs.dirty,
 					Full:       true,
 					Pinned:     recent,
@@ -605,22 +741,22 @@ func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
 				owners = append(owners, cs)
 			}
 		}
-		sortBlockCandidates(cands, nums, owners)
-		return cands, nums, owners
+		d.candScratch, d.numScratch, d.ownerScratch = cands, nums, owners
+		return cands
 	}
-	cands, nums, owners := collect(true)
+	cands := collect(true)
 	idx, ok := d.replace.SelectVictim(cands)
 	if !ok {
-		cands, nums, owners = collect(false)
+		cands = collect(false)
 		idx, ok = d.replace.SelectVictim(cands)
 	}
 	if !ok {
 		return false
 	}
-	b, cs := nums[idx], owners[idx]
-	bs := d.blocks[b]
+	b, cs := d.numScratch[idx], d.ownerScratch[idx]
+	bs := d.blockAt(b)
 	bs.resident = false
-	d.ctrs.NoteEviction(b)
+	d.ctrs.NoteEviction(uint64(b))
 	bs.everEvicted = true
 	d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
 	dirty := uint64(0)
@@ -641,9 +777,7 @@ func (d *Driver) finishEviction(evictedBlocks, dirtyBlocks uint64) {
 	d.mem.Release(evictedBlocks * memunits.PagesPerBlock)
 	if dirtyBlocks > 0 {
 		d.st.WrittenBackPages += dirtyBlocks * memunits.PagesPerBlock
-		d.link.Transfer(interconnect.DeviceToHost, dirtyBlocks*memunits.BlockSize, func() {
-			d.drainWaiting()
-		})
+		d.link.Transfer(interconnect.DeviceToHost, dirtyBlocks*memunits.BlockSize, d.drainFn)
 	}
 }
 

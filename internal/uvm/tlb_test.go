@@ -48,7 +48,7 @@ func TestTLBInvalidateRange(t *testing.T) {
 		t.Fatalf("dropped = %d, want 4", dropped)
 	}
 	for p := memunits.PageNum(0); p < 8; p++ {
-		present := tl.entries[p] != nil
+		present := tl.idx[p] != 0
 		want := p < 2 || p >= 6
 		if present != want {
 			t.Fatalf("page %d presence = %v, want %v", p, present, want)
