@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet race bench bench-baseline figures check
+.PHONY: build test short vet race bench bench-baseline figures check ci smoke
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,16 @@ figures:
 	$(GO) run ./cmd/paperbench -fig all
 
 check: vet test
+
+# End-to-end smoke: a small sweep with the full observability surface on
+# (metrics registry + periodic invariant checker), validating that the
+# emitted metrics document is well-formed versioned JSON.
+smoke:
+	$(GO) run ./cmd/paperbench -fig 1 -scale 0.05 -workloads ra \
+		-metrics-json /tmp/uvmsim-smoke-metrics.json -check-invariants 20000
+	grep -q '"version": 1' /tmp/uvmsim-smoke-metrics.json
+	grep -q '"runs"' /tmp/uvmsim-smoke-metrics.json
+
+# What CI runs (.github/workflows/ci.yml): vet, build, race-detected
+# tests, then the observability smoke.
+ci: vet build race smoke

@@ -14,11 +14,18 @@
 //	paperbench -fig 6 -memprofile mem.pprof   # heap profile at exit
 //	paperbench -bench-json BENCH_baseline.json -scale 0.25
 //	                                # measure the perf-trajectory suite
+//
+// Observability (see DESIGN.md, "Observability"):
+//
+//	paperbench -fig 6 -metrics-json metrics.json   # one entry per cell
+//	paperbench -fig 6 -trace-out trace.json        # Chrome trace_event
+//	paperbench -fig 6 -check-invariants 10000      # periodic checker
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,46 +34,99 @@ import (
 
 	"uvmsim"
 	"uvmsim/internal/cliutil"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/plot"
 	"uvmsim/internal/resultio"
 	"uvmsim/internal/sim"
 )
 
 func main() {
-	var (
-		fig        = flag.String("fig", "", "figure to regenerate: 1-8, or 'all'")
-		table1     = flag.Bool("table1", false, "print Table I (simulated system configuration)")
-		scale      = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plotOut    = flag.Bool("plot", false, "render tables as terminal bar charts")
-		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: all)")
-		sample     = flag.Uint64("sample", 256, "Fig. 3 sampling density (1 = every access)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		benchJSON  = flag.String("bench-json", "", "run the benchmark suite and write a versioned JSON report to this file ('-' for stdout)")
-	)
-	flag.Parse()
-
-	if !*table1 && *fig == "" && *benchJSON == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	opt := uvmsim.ExperimentOptions{Scale: *scale}
-	if *workloads != "" {
-		opt.Workloads = cliutil.SplitList(*workloads)
-	}
-	err := run(*fig, *table1, *csv, *plotOut, *sample, *cpuprofile, *memprofile, *benchJSON, opt)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-		os.Exit(2)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run executes the selected modes with profiling hooks wrapped around
+// options collects every parsed flag so the tool body is testable
+// without a process boundary.
+type options struct {
+	fig        string
+	table1     bool
+	csv        bool
+	plotOut    bool
+	sample     uint64
+	cpuprofile string
+	memprofile string
+	benchJSON  string
+
+	metricsJSON     string
+	traceOut        string
+	traceSample     uint64
+	checkInvariants uint64
+
+	opt uvmsim.ExperimentOptions
+}
+
+// run parses args and executes the selected modes, returning the process
+// exit code. All failures — flag errors, validation errors, unwritable
+// output paths, invariant violations — surface as a one-line message on
+// stderr and a non-zero code, never a panic.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		o         options
+		scale     = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		workloads = fs.String("workloads", "", "comma-separated workload subset (default: all)")
+	)
+	fs.StringVar(&o.fig, "fig", "", "figure to regenerate: 1-8, or 'all'")
+	fs.BoolVar(&o.table1, "table1", false, "print Table I (simulated system configuration)")
+	fs.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.BoolVar(&o.plotOut, "plot", false, "render tables as terminal bar charts")
+	fs.Uint64Var(&o.sample, "sample", 256, "Fig. 3 sampling density (1 = every access)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&o.benchJSON, "bench-json", "", "run the benchmark suite and write a versioned JSON report to this file ('-' for stdout)")
+	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the observability metric registry of every simulation cell to this file as JSON ('-' for stdout)")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write cycle-stamped timeline traces to this file (.jsonl = compact JSONL, otherwise Chrome trace_event JSON)")
+	fs.Uint64Var(&o.traceSample, "trace-sample", 1, "keep one of every N trace spans (with -trace-out; 1 = all)")
+	fs.Uint64Var(&o.checkInvariants, "check-invariants", 0, "run the cross-component invariant checker every N cycles (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !o.table1 && o.fig == "" && o.benchJSON == "" {
+		fs.Usage()
+		return 2
+	}
+	if *scale <= 0 {
+		fmt.Fprintf(stderr, "paperbench: -scale must be positive, got %v\n", *scale)
+		return 2
+	}
+	o.opt = uvmsim.ExperimentOptions{Scale: *scale}
+	if *workloads != "" {
+		o.opt.Workloads = cliutil.SplitList(*workloads)
+	}
+	if err := execute(o, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "paperbench: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// execute runs the selected modes with profiling hooks wrapped around
 // them; it returns instead of exiting so deferred profile writers run.
-func run(fig string, table1, csv, plotOut bool, sample uint64, cpuprofile, memprofile, benchJSON string, opt uvmsim.ExperimentOptions) error {
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
+func execute(o options, stdout, stderr io.Writer) (err error) {
+	// An invariant violation fails fast as a panic carrying a
+	// cycle-stamped diagnostic; surface it as an ordinary error.
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*obs.Violation); ok {
+				err = v
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
 			return err
 		}
@@ -76,51 +136,107 @@ func run(fig string, table1, csv, plotOut bool, sample uint64, cpuprofile, mempr
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if memprofile != "" {
+	if o.memprofile != "" {
 		defer func() {
-			f, err := os.Create(memprofile)
+			f, err := os.Create(o.memprofile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
 			}
 		}()
 	}
 
-	if benchJSON != "" {
-		if err := runBenchSuite(benchJSON, opt); err != nil {
+	// Open observability outputs before any sweep runs, so an unwritable
+	// path fails in milliseconds rather than after minutes of simulation.
+	outs := make(map[string]io.WriteCloser)
+	defer func() {
+		for _, f := range outs {
+			f.Close()
+		}
+	}()
+	for _, path := range []string{o.metricsJSON, o.traceOut} {
+		if path == "" || path == "-" || outs[path] != nil {
+			continue
+		}
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return ferr
+		}
+		outs[path] = f
+	}
+
+	suite := obs.NewSuite(obs.Options{
+		Metrics:     o.metricsJSON != "",
+		Trace:       o.traceOut != "",
+		TraceSample: o.traceSample,
+		CheckEvery:  o.checkInvariants,
+	})
+	if suite.Options().Enabled() {
+		o.opt.Observe = suite.NewRun
+	}
+
+	if o.benchJSON != "" {
+		if err := runBenchSuite(o.benchJSON, o.opt, stdout, stderr); err != nil {
 			return err
 		}
 	}
-	if table1 {
-		fmt.Print(uvmsim.Table1(uvmsim.DefaultConfig()))
-		fmt.Println()
+	if o.table1 {
+		fmt.Fprint(stdout, uvmsim.Table1(uvmsim.DefaultConfig()))
+		fmt.Fprintln(stdout)
 	}
-	if fig == "" {
-		return nil
+	if o.fig != "" {
+		if err := runFigures(o.fig, o.csv, o.plotOut, o.sample, o.opt, stdout); err != nil {
+			return err
+		}
 	}
-	return runFigures(fig, csv, plotOut, sample, opt)
+
+	if o.metricsJSON != "" {
+		w := io.Writer(stdout)
+		if o.metricsJSON != "-" {
+			w = outs[o.metricsJSON]
+		}
+		if err := suite.WriteMetricsJSON(w); err != nil {
+			return err
+		}
+		if o.metricsJSON != "-" {
+			fmt.Fprintf(stderr, "wrote %s\n", o.metricsJSON)
+		}
+	}
+	if o.traceOut != "" {
+		var err error
+		if strings.HasSuffix(o.traceOut, ".jsonl") {
+			err = suite.WriteTraceJSONL(outs[o.traceOut])
+		} else {
+			err = suite.WriteChromeTrace(outs[o.traceOut])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", o.traceOut)
+	}
+	return nil
 }
 
-func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.ExperimentOptions) error {
+func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.ExperimentOptions, stdout io.Writer) error {
 	emit := func(t *uvmsim.Table) {
 		switch {
 		case csv:
-			fmt.Print(t.CSV())
+			fmt.Fprint(stdout, t.CSV())
 		case plotOut:
 			rows := make([]plot.NamedRow, len(t.Rows))
 			for i, r := range t.Rows {
 				rows[i] = plot.NamedRow{Label: r.Label, Values: r.Values}
 			}
-			fmt.Print(plot.GroupedBars(t.Title+"\n"+t.Metric, t.Columns, rows, 50))
+			fmt.Fprint(stdout, plot.GroupedBars(t.Title+"\n"+t.Metric, t.Columns, rows, 50))
 		default:
-			fmt.Print(t.Format())
+			fmt.Fprint(stdout, t.Format())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	figs := strings.Split(fig, ",")
@@ -133,16 +249,16 @@ func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.Experim
 			emit(uvmsim.Fig1(opt))
 		case "2":
 			for _, w := range []string{"fdtd", "sssp"} {
-				fmt.Println(uvmsim.Fig2(w, opt))
+				fmt.Fprintln(stdout, uvmsim.Fig2(w, opt))
 			}
 		case "3":
 			series := uvmsim.Fig3("fdtd", opt, []int{2, 4}, sample)
 			for _, it := range []int{2, 4} {
-				fmt.Printf("Figure 3 (fdtd, iteration %d):\n%s\n", it, series[it])
+				fmt.Fprintf(stdout, "Figure 3 (fdtd, iteration %d):\n%s\n", it, series[it])
 			}
 			series = uvmsim.Fig3("sssp", opt, []int{3, 5}, sample)
 			for _, it := range []int{3, 5} {
-				fmt.Printf("Figure 3 (sssp, iteration %d):\n%s\n", it, series[it])
+				fmt.Fprintf(stdout, "Figure 3 (sssp, iteration %d):\n%s\n", it, series[it])
 			}
 		case "4":
 			emit(uvmsim.Fig4(opt))
@@ -179,7 +295,7 @@ func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.Experim
 // runBenchSuite measures the perf-trajectory suite — the Fig. 1 and
 // Fig. 6/7 sweeps plus the event-engine microbenchmarks that guard the
 // hot path — and writes a versioned resultio.BenchSuite.
-func runBenchSuite(path string, opt uvmsim.ExperimentOptions) error {
+func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, stderr io.Writer) error {
 	benchmarks := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -237,7 +353,7 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions) error {
 		Scale:      opt.Scale,
 	}
 	for _, bm := range benchmarks {
-		fmt.Fprintf(os.Stderr, "bench %s...\n", bm.name)
+		fmt.Fprintf(stderr, "bench %s...\n", bm.name)
 		r := testing.Benchmark(bm.fn)
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s did not run (did it fail?)", bm.name)
@@ -251,7 +367,7 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions) error {
 		})
 	}
 
-	out := os.Stdout
+	out := stdout
 	if path != "-" {
 		f, err := os.Create(path)
 		if err != nil {

@@ -6,97 +6,200 @@
 //	uvmsim -workload sssp -policy adaptive -oversub 125 [-scale 1.0]
 //	       [-ts 8] [-p 8] [-replacement lfu] [-prefetcher tree]
 //	       [-granularity 2m|64k] [-spans] [-csv]
+//
+// Observability (see DESIGN.md, "Observability"):
+//
+//	uvmsim -workload sssp -metrics-json metrics.json     # metric registry
+//	uvmsim -workload sssp -trace-out trace.json          # Chrome trace_event
+//	uvmsim -workload sssp -trace-out t.jsonl -trace-sample 8
+//	uvmsim -workload sssp -check-invariants 10000        # periodic checker
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"uvmsim"
 	"uvmsim/internal/cliutil"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/resultio"
 	"uvmsim/internal/workloads"
 )
 
 func main() {
-	var (
-		workload    = flag.String("workload", "sssp", "workload name: "+strings.Join(uvmsim.AllWorkloads(), ", "))
-		scale       = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-		oversub     = flag.Uint64("oversub", 125, "working set as % of device memory (100 = fits)")
-		arch        = flag.String("arch", "pascal", "architecture preset: pascal, volta")
-		policy      = flag.String("policy", "adaptive", "migration policy: disabled, always, oversub, adaptive")
-		ts          = flag.Uint64("ts", 8, "static access counter threshold")
-		penalty     = flag.Uint64("p", 8, "multiplicative migration penalty")
-		replacement = flag.String("replacement", "", "override replacement policy: lru, lfu (default: paper pairing)")
-		prefetcher  = flag.String("prefetcher", "tree", "prefetcher: tree, none, sequential")
-		granularity = flag.String("granularity", "2m", "eviction granularity: 2m, 64k")
-		graphFile   = flag.String("graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
-		spans       = flag.Bool("spans", false, "print per-kernel timing spans")
-		csv         = flag.Bool("csv", false, "print metrics as CSV")
-		jsonOut     = flag.String("json", "", "write a self-describing JSON record of the run to this file")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	pol, err := cliutil.ParsePolicy(*policy)
-	if err != nil {
-		fatal(err)
+// options collects every parsed flag so the simulation body is testable
+// without a process boundary.
+type options struct {
+	workload    string
+	scale       float64
+	oversub     uint64
+	arch        string
+	policy      string
+	ts          uint64
+	penalty     uint64
+	replacement string
+	prefetcher  string
+	granularity string
+	graphFile   string
+	spans       bool
+	csv         bool
+	jsonOut     string
+
+	metricsJSON     string
+	traceOut        string
+	traceSample     uint64
+	checkInvariants uint64
+}
+
+// run parses args and executes one simulation, returning the process
+// exit code. All failures — flag errors, validation errors, unwritable
+// output paths, invariant violations — surface as a one-line message on
+// stderr and a non-zero code, never a panic.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uvmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.workload, "workload", "sssp", "workload name: "+strings.Join(uvmsim.AllWorkloads(), ", "))
+	fs.Float64Var(&o.scale, "scale", 1.0, "workload scale factor (1.0 = paper size)")
+	fs.Uint64Var(&o.oversub, "oversub", 125, "working set as % of device memory (100 = fits)")
+	fs.StringVar(&o.arch, "arch", "pascal", "architecture preset: pascal, volta")
+	fs.StringVar(&o.policy, "policy", "adaptive", "migration policy: disabled, always, oversub, adaptive")
+	fs.Uint64Var(&o.ts, "ts", 8, "static access counter threshold")
+	fs.Uint64Var(&o.penalty, "p", 8, "multiplicative migration penalty")
+	fs.StringVar(&o.replacement, "replacement", "", "override replacement policy: lru, lfu (default: paper pairing)")
+	fs.StringVar(&o.prefetcher, "prefetcher", "tree", "prefetcher: tree, none, sequential")
+	fs.StringVar(&o.granularity, "granularity", "2m", "eviction granularity: 2m, 64k")
+	fs.StringVar(&o.graphFile, "graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
+	fs.BoolVar(&o.spans, "spans", false, "print per-kernel timing spans")
+	fs.BoolVar(&o.csv, "csv", false, "print metrics as CSV")
+	fs.StringVar(&o.jsonOut, "json", "", "write a self-describing JSON record of the run to this file")
+	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the observability metric registry to this file as JSON")
+	fs.StringVar(&o.traceOut, "trace-out", "", "write a cycle-stamped timeline trace to this file (.jsonl = compact JSONL, otherwise Chrome trace_event JSON)")
+	fs.Uint64Var(&o.traceSample, "trace-sample", 1, "keep one of every N trace spans (with -trace-out; 1 = all)")
+	fs.Uint64Var(&o.checkInvariants, "check-invariants", 0, "run the cross-component invariant checker every N cycles (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	cfg, err := uvmsim.PresetConfig(*arch)
+	if err := simulate(o, stdout, stderr); err != nil {
+		fmt.Fprintln(stderr, "uvmsim:", err)
+		return 2
+	}
+	return 0
+}
+
+// simulate validates the options, runs the workload and writes every
+// requested output.
+func simulate(o options, stdout, stderr io.Writer) (err error) {
+	pol, err := cliutil.ParsePolicy(o.policy)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	cfg, err := uvmsim.PresetConfig(o.arch)
+	if err != nil {
+		return err
+	}
+	if o.ts == 0 {
+		return fmt.Errorf("-ts must be positive (a zero access-counter threshold is meaningless)")
+	}
+	if o.penalty == 0 {
+		return fmt.Errorf("-p must be positive (a zero migration penalty is meaningless)")
+	}
+	if o.scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %v", o.scale)
+	}
+	if o.oversub == 0 {
+		return fmt.Errorf("-oversub must be positive, got 0")
 	}
 	cfg = cfg.WithPolicy(pol)
-	cfg.StaticThreshold = *ts
-	cfg.Penalty = *penalty
-	if rp, ok, err := cliutil.ParseReplacement(*replacement); err != nil {
-		fatal(err)
+	cfg.StaticThreshold = o.ts
+	cfg.Penalty = o.penalty
+	if rp, ok, err := cliutil.ParseReplacement(o.replacement); err != nil {
+		return err
 	} else if ok {
 		cfg.Replacement = rp
 	}
-	if cfg.Prefetcher, err = cliutil.ParsePrefetcher(*prefetcher); err != nil {
-		fatal(err)
+	if cfg.Prefetcher, err = cliutil.ParsePrefetcher(o.prefetcher); err != nil {
+		return err
 	}
-	if cfg.EvictionGranularity, err = cliutil.ParseGranularity(*granularity); err != nil {
-		fatal(err)
+	if cfg.EvictionGranularity, err = cliutil.ParseGranularity(o.granularity); err != nil {
+		return err
 	}
 
 	known := false
 	for _, w := range uvmsim.AllWorkloads() {
-		if w == *workload {
+		if w == o.workload {
 			known = true
 			break
 		}
 	}
 	if !known {
-		fatal(fmt.Errorf("unknown workload %q (have %s)", *workload, strings.Join(uvmsim.AllWorkloads(), ", ")))
+		return fmt.Errorf("unknown workload %q (have %s)", o.workload, strings.Join(uvmsim.AllWorkloads(), ", "))
 	}
 	var b *uvmsim.Workload
-	if *graphFile != "" {
-		b, err = buildFromGraphFile(*workload, *graphFile)
+	if o.graphFile != "" {
+		b, err = buildFromGraphFile(o.workload, o.graphFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
-		b = uvmsim.BuildWorkload(*workload, *scale)
+		b = uvmsim.BuildWorkload(o.workload, o.scale)
 	}
-	cfg = cfg.WithOversubscription(b.WorkingSet(), *oversub)
+	cfg = cfg.WithOversubscription(b.WorkingSet(), o.oversub)
+
+	// Open every output file before the simulation runs, so an
+	// unwritable path fails in milliseconds rather than after minutes of
+	// simulated work.
+	outs := make(map[string]*os.File)
+	defer func() {
+		for _, f := range outs {
+			f.Close()
+		}
+	}()
+	for _, path := range []string{o.jsonOut, o.metricsJSON, o.traceOut} {
+		if path == "" || outs[path] != nil {
+			continue
+		}
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return ferr
+		}
+		outs[path] = f
+	}
 
 	class := "irregular"
 	if b.Regular {
 		class = "regular"
 	}
-	fmt.Printf("workload=%s (%s) ws=%s capacity=%s policy=%v ts=%d p=%d replacement=%v prefetcher=%v\n",
+	fmt.Fprintf(stdout, "workload=%s (%s) ws=%s capacity=%s policy=%v ts=%d p=%d replacement=%v prefetcher=%v\n",
 		b.Name, class, memunits.HumanBytes(b.WorkingSet()),
 		memunits.HumanBytes(cfg.DeviceMemBytes), cfg.Policy, cfg.StaticThreshold,
 		cfg.Penalty, cfg.Replacement, cfg.Prefetcher)
 
-	res := uvmsim.Run(b, cfg)
+	suite := obs.NewSuite(obs.Options{
+		Metrics:     o.metricsJSON != "",
+		Trace:       o.traceOut != "",
+		TraceSample: o.traceSample,
+		CheckEvery:  o.checkInvariants,
+	})
+	runName := fmt.Sprintf("%s/%v/%d%%", b.Name, cfg.Policy, o.oversub)
+
+	s := uvmsim.New(b, cfg)
+	s.Observe(suite.NewRun(runName))
+	res, err := runChecked(s)
+	if err != nil {
+		return err
+	}
+
 	c := res.Counters
-	if *csv {
-		fmt.Println("metric,value")
+	if o.csv {
+		fmt.Fprintln(stdout, "metric,value")
 		for _, kv := range [][2]interface{}{
 			{"cycles", c.Cycles}, {"near_accesses", c.NearAccesses},
 			{"remote_reads", c.RemoteReads}, {"remote_writes", c.RemoteWrites},
@@ -108,28 +211,62 @@ func main() {
 			{"h2d_bytes", c.H2DBytes}, {"d2h_bytes", c.D2HBytes},
 			{"instructions", c.Instructions}, {"warps_retired", c.WarpsRetired},
 		} {
-			fmt.Printf("%s,%v\n", kv[0], kv[1])
+			fmt.Fprintf(stdout, "%s,%v\n", kv[0], kv[1])
 		}
 	} else {
-		fmt.Println(c.String())
+		fmt.Fprintln(stdout, c.String())
 	}
-	if *spans {
+	if o.spans {
 		for _, sp := range res.Spans {
-			fmt.Printf("kernel %-24s iter %2d  [%12d .. %12d]  %d cycles\n",
+			fmt.Fprintf(stdout, "kernel %-24s iter %2d  [%12d .. %12d]  %d cycles\n",
 				sp.Name, sp.Iter, sp.Start, sp.End, sp.End-sp.Start)
 		}
 	}
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fatal(err)
+	if o.jsonOut != "" {
+		rec := resultio.FromResult(res, o.scale, o.oversub)
+		if o.metricsJSON != "" {
+			snap := suite.Collect()
+			rec.Metrics = &snap.Runs[0]
 		}
-		defer f.Close()
-		if err := resultio.Write(f, resultio.FromResult(res, *scale, *oversub)); err != nil {
-			fatal(err)
+		if err := resultio.Write(outs[o.jsonOut], rec); err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		fmt.Fprintf(stderr, "wrote %s\n", o.jsonOut)
 	}
+	if o.metricsJSON != "" {
+		if err := suite.WriteMetricsJSON(outs[o.metricsJSON]); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", o.metricsJSON)
+	}
+	if o.traceOut != "" {
+		if strings.HasSuffix(o.traceOut, ".jsonl") {
+			err = suite.WriteTraceJSONL(outs[o.traceOut])
+		} else {
+			err = suite.WriteChromeTrace(outs[o.traceOut])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", o.traceOut)
+	}
+	return nil
+}
+
+// runChecked runs the simulation, converting an invariant-checker
+// violation (a fail-fast panic carrying a cycle-stamped diagnostic) into
+// an ordinary error; any other panic is a bug and propagates.
+func runChecked(s *uvmsim.Simulator) (res *uvmsim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*obs.Violation); ok {
+				res, err = nil, v
+				return
+			}
+			panic(r)
+		}
+	}()
+	return s.Run(), nil
 }
 
 // buildFromGraphFile loads an edge-list graph and instantiates bfs or
@@ -152,9 +289,4 @@ func buildFromGraphFile(workload, path string) (*uvmsim.Workload, error) {
 	default:
 		return nil, fmt.Errorf("-graph only applies to bfs and sssp, not %q", workload)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "uvmsim:", err)
-	os.Exit(2)
 }

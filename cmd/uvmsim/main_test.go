@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/obs"
+	"uvmsim/internal/resultio"
+)
+
+// runCLI invokes the tool body exactly as main does, capturing both
+// streams. It fails the test if the invocation panics — every CLI error
+// must surface as a one-line message and a non-zero exit code.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("run(%q) panicked: %v", args, r)
+		}
+	}()
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestInvalidFlagValuesExitNonZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknownPolicy", []string{"-policy", "bogus"}, "unknown policy"},
+		{"unknownArch", []string{"-arch", "kepler"}, "unknown"},
+		{"zeroThreshold", []string{"-ts", "0"}, "-ts must be positive"},
+		{"zeroPenalty", []string{"-p", "0"}, "-p must be positive"},
+		{"zeroScale", []string{"-scale", "0"}, "-scale must be positive"},
+		{"negativeScale", []string{"-scale", "-1"}, "-scale must be positive"},
+		{"zeroOversub", []string{"-oversub", "0"}, "-oversub must be positive"},
+		{"unknownWorkload", []string{"-workload", "nosuch"}, "unknown workload"},
+		{"unknownReplacement", []string{"-replacement", "mru"}, "unknown replacement"},
+		{"unknownPrefetcher", []string{"-prefetcher", "oracle"}, "unknown prefetcher"},
+		{"unknownGranularity", []string{"-granularity", "4k"}, "unknown eviction granularity"},
+		{"undefinedFlag", []string{"-no-such-flag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("run(%q) = 0, want non-zero", tc.args)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Fatalf("stderr = %q, want substring %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Unwritable output paths must fail fast — before the simulation runs —
+// so the test asserting the error also proves nothing slow happened.
+func TestUnwritableOutputPathsExitNonZero(t *testing.T) {
+	for _, flagName := range []string{"-json", "-metrics-json", "-trace-out"} {
+		t.Run(flagName, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "missing-dir", "out.json")
+			code, _, stderr := runCLI(t, "-workload", "ra", "-scale", "0.05", flagName, bad)
+			if code == 0 {
+				t.Fatalf("%s %s exited 0, want non-zero", flagName, bad)
+			}
+			if !strings.Contains(stderr, "missing-dir") {
+				t.Fatalf("stderr = %q, want the failing path", stderr)
+			}
+		})
+	}
+}
+
+func TestRunWithObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	record := filepath.Join(dir, "record.json")
+	code, stdout, stderr := runCLI(t,
+		"-workload", "ra", "-scale", "0.05", "-oversub", "125",
+		"-metrics-json", metrics, "-trace-out", trace, "-trace-sample", "4",
+		"-check-invariants", "10000", "-json", record, "-csv")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cycles,") {
+		t.Fatalf("missing CSV metrics:\n%s", stdout)
+	}
+
+	// The metrics document must be the versioned SuiteSnapshot schema.
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.SuiteSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Runs) != 1 || !strings.HasPrefix(snap.Runs[0].Name, "ra/") {
+		t.Fatalf("runs = %+v", snap.Runs)
+	}
+
+	// The Chrome trace must be a well-formed traceEvents document.
+	raw, err = os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	// The resultio record must round-trip, including the embedded
+	// metrics block (Read cross-validates it against the counters).
+	f, err := os.Open(record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := resultio.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Metrics == nil {
+		t.Fatal("record is missing the metrics block")
+	}
+}
+
+func TestTraceJSONLOutput(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	code, _, stderr := runCLI(t,
+		"-workload", "ra", "-scale", "0.05", "-trace-out", trace)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("JSONL trace is empty")
+	}
+	var first map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("JSONL line 1: %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/gpu"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/uvm"
@@ -46,6 +47,12 @@ type Simulator struct {
 	GPU    *gpu.GPU
 	built  *workloads.Built
 	cfg    config.Config
+
+	// Observability state (see obs.go); zero when disabled.
+	obsRun     *obs.Run
+	checker    *obs.Checker
+	checkEvery uint64
+	checksRun  uint64
 }
 
 // New creates a simulator for the workload under the configuration.
@@ -71,14 +78,23 @@ func (s *Simulator) Run() *Result {
 	for i, k := range s.built.Kernels {
 		start := s.Engine.Now()
 		end := s.GPU.RunSync(k)
-		res.Spans = append(res.Spans, KernelSpan{
-			Name: k.Name, Iter: s.built.IterOf[i], Start: start, End: end,
-		})
+		span := KernelSpan{Name: k.Name, Iter: s.built.IterOf[i], Start: start, End: end}
+		res.Spans = append(res.Spans, span)
+		s.observeKernel(span)
 	}
 	// Drain in-flight migrations (prefetches may outlive the last warp).
 	s.Engine.Run()
 	if s.Driver.PendingWork() {
 		panic(fmt.Sprintf("core: %s did not quiesce (stuck migrations)", s.built.Name))
+	}
+	if s.checkEvery > 0 {
+		if err := s.CheckNow(); err != nil {
+			panic(err)
+		}
+		// The run has quiesced, so the strict (non-mid-run) walk applies.
+		if err := s.Driver.CheckConsistency(); err != nil {
+			panic(&obs.Violation{Cycle: uint64(s.Engine.Now()), Check: "driver-consistency-final", Err: err})
+		}
 	}
 	s.Driver.Finalize()
 	res.Counters = *s.Driver.Stats()

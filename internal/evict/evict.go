@@ -146,6 +146,13 @@ func (lfu) SelectVictim(cands []Candidate) (int, bool) {
 	if !ok {
 		return -1, false
 	}
+	if maxScore == 0 {
+		// No eligible unit has ever been counted (fresh counters, or a
+		// halving sweep just zeroed everything). That is the uniform
+		// case by definition — state it explicitly instead of relying
+		// on 0-0 <= 0/2 falling through the spread test below.
+		return lru{}.SelectVictim(cands)
+	}
 	if maxScore-minScore <= maxScore/uniformSpreadDivisor {
 		// Uniform counters: regular access pattern, fall back to LRU.
 		return lru{}.SelectVictim(cands)
@@ -159,21 +166,25 @@ func (lfu) SelectVictim(cands []Candidate) (int, bool) {
 	return best, best != -1
 }
 
-// lruKey orders by last access time only.
-func lruKey(c Candidate) [3]uint64 { return [3]uint64{c.LastAccess, 0, 0} }
+// lruKey orders by last access time, tie-broken by unit number so fully
+// equal candidates resolve deterministically regardless of slice order.
+func lruKey(c Candidate) [4]uint64 { return [4]uint64{c.LastAccess, 0, 0, c.Unit} }
 
-// lfuKey orders by (score, dirtiness, last access): coldest, then clean
-// (read-only pages are preferred victims because written-to hot pages
-// would migrate back exclusively anyway), then oldest.
-func lfuKey(c Candidate) [3]uint64 {
+// lfuKey orders by (score, dirtiness, last access, unit): coldest, then
+// clean (read-only pages are preferred victims because written-to hot
+// pages would migrate back exclusively anyway), then oldest, then the
+// lowest unit number. The final component makes selection a total order:
+// candidates equal on (score, LastAccess) pick the same victim whether
+// the caller's list is sorted or not.
+func lfuKey(c Candidate) [4]uint64 {
 	dirty := uint64(0)
 	if c.Dirty {
 		dirty = 1
 	}
-	return [3]uint64{c.Score, dirty, c.LastAccess}
+	return [4]uint64{c.Score, dirty, c.LastAccess, c.Unit}
 }
 
-func less(a, b [3]uint64) bool {
+func less(a, b [4]uint64) bool {
 	for i := range a {
 		if a[i] != b[i] {
 			return a[i] < b[i]

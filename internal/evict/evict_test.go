@@ -223,3 +223,113 @@ func TestLRUMinimalityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Table tests for the fallback and tie-break edge cases the driver can
+// reach: all candidates pinned, all scores zero, and fully tied keys.
+func TestSelectVictimEdgeCases(t *testing.T) {
+	for name, tc := range map[string]struct {
+		policy config.ReplacementPolicy
+		cands  []Candidate
+		want   int  // expected index, -1 when ok must be false
+	}{
+		"allPinnedLRU": {
+			policy: config.ReplaceLRU,
+			cands: []Candidate{
+				{Unit: 0, LastAccess: 5, Full: true, Pinned: true},
+				{Unit: 1, LastAccess: 1, Full: true, Pinned: true},
+			},
+			want: -1,
+		},
+		"allPinnedLFU": {
+			policy: config.ReplaceLFU,
+			cands: []Candidate{
+				{Unit: 0, Score: 9, Full: true, Pinned: true},
+				{Unit: 1, Score: 1, Full: true, Pinned: true},
+			},
+			want: -1,
+		},
+		// All-zero scores must be treated as explicitly uniform: the
+		// LFU policy falls back to LRU and picks the oldest, not the
+		// first zero-score entry its cold-first pass happens to see.
+		"allZeroScoresFallBackToLRU": {
+			policy: config.ReplaceLFU,
+			cands: []Candidate{
+				{Unit: 0, Score: 0, LastAccess: 50, Full: true},
+				{Unit: 1, Score: 0, LastAccess: 10, Full: true},
+				{Unit: 2, Score: 0, LastAccess: 30, Full: true},
+			},
+			want: 1,
+		},
+		// Candidates equal on (score, dirty, LastAccess) tie-break by
+		// the lowest unit number — even when the list is not sorted.
+		"fullTieBreaksByUnitLFU": {
+			policy: config.ReplaceLFU,
+			cands: []Candidate{
+				{Unit: 7, Score: 2, LastAccess: 10, Full: true},
+				{Unit: 3, Score: 2, LastAccess: 10, Full: true},
+				{Unit: 5, Score: 100, LastAccess: 10, Full: true},
+			},
+			want: 1,
+		},
+		"fullTieBreaksByUnitLRU": {
+			policy: config.ReplaceLRU,
+			cands: []Candidate{
+				{Unit: 9, LastAccess: 10, Full: true},
+				{Unit: 2, LastAccess: 10, Full: true},
+				{Unit: 4, LastAccess: 10, Full: true},
+			},
+			want: 1,
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			idx, ok := New(tc.policy).SelectVictim(tc.cands)
+			if tc.want == -1 {
+				if ok {
+					t.Fatalf("selected %d from all-pinned candidates", idx)
+				}
+				return
+			}
+			if !ok || idx != tc.want {
+				t.Fatalf("SelectVictim = (%d, %v), want (%d, true)", idx, ok, tc.want)
+			}
+		})
+	}
+}
+
+// Property: selection is order-independent — shuffling the candidate
+// list never changes the chosen unit (the Unit tie-break makes the
+// ordering total).
+func TestSelectionOrderIndependenceProperty(t *testing.T) {
+	f := func(seed int64, scores []uint8, pol bool) bool {
+		if len(scores) == 0 {
+			return true
+		}
+		policy := config.ReplaceLRU
+		if pol {
+			policy = config.ReplaceLFU
+		}
+		cands := make([]Candidate, len(scores))
+		for i, sc := range scores {
+			cands[i] = Candidate{
+				Unit:       uint64(i),
+				Score:      uint64(sc),
+				LastAccess: uint64(sc % 4), // force frequent ties
+				Dirty:      sc%2 == 0,
+				Full:       true,
+			}
+		}
+		idx, ok := New(policy).SelectVictim(cands)
+		if !ok {
+			return false
+		}
+		wantUnit := cands[idx].Unit
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := append([]Candidate(nil), cands...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		idx2, ok2 := New(policy).SelectVictim(shuffled)
+		return ok2 && shuffled[idx2].Unit == wantUnit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"uvmsim/internal/config"
 	"uvmsim/internal/core"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/report"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/sweep"
@@ -32,6 +33,12 @@ type Options struct {
 	// simulation is deterministic and single-threaded, so parallel
 	// sweeps produce identical tables to serial ones.
 	Workers int
+	// Observe, when non-nil, is called once per simulation cell with a
+	// unique run name ("workload/policy/oversub%[/tag]") and may return
+	// observability instruments to attach (nil skips the cell). The
+	// factory must be safe for concurrent calls — parallel sweeps invoke
+	// it from worker goroutines (obs.Suite.NewRun qualifies).
+	Observe func(runName string) *obs.Run
 }
 
 // withDefaults fills unset options.
@@ -48,9 +55,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// runtime runs one configuration and returns total cycles.
-func runtimeOf(name string, scale float64, pct uint64, pol config.MigrationPolicy, base config.Config) *core.Result {
-	return core.RunWorkload(name, scale, pct, pol, base)
+// runtimeOf runs one configuration cell. tag disambiguates cells that
+// share workload/policy/oversubscription (threshold and penalty sweeps).
+func (o Options) runtimeOf(name string, pct uint64, pol config.MigrationPolicy, base config.Config, tag string) *core.Result {
+	var r *obs.Run
+	if o.Observe != nil {
+		runName := fmt.Sprintf("%s/%s/%d%%", name, pol, pct)
+		if tag != "" {
+			runName += "/" + tag
+		}
+		r = o.Observe(runName)
+	}
+	return core.RunWorkloadObs(name, o.Scale, pct, pol, base, r)
 }
 
 // grid evaluates one simulation per (workload, column) pair in parallel.
@@ -73,7 +89,7 @@ func Fig1(o Options) *report.Table {
 	}
 	pcts := []uint64{100, 125, 150}
 	res := o.grid(len(pcts), func(name string, col int) *core.Result {
-		return runtimeOf(name, o.Scale, pcts[col], config.PolicyDisabled, o.Base)
+		return o.runtimeOf(name, pcts[col], config.PolicyDisabled, o.Base, "")
 	})
 	for i, name := range o.Workloads {
 		base := res[i][0].Runtime()
@@ -100,6 +116,9 @@ func RunTrace(workload string, o Options, sampleEvery uint64) *TraceResult {
 	b := workloads.MustGet(workload)(o.Scale)
 	cfg := o.Base.WithPolicy(config.PolicyDisabled).WithOversubscription(b.WorkingSet(), 100)
 	s := core.New(b, cfg)
+	if o.Observe != nil {
+		s.Observe(o.Observe(workload + "/trace"))
+	}
 	col := trace.NewCollector(b.Space, sampleEvery)
 	s.SetObserver(col.Observer())
 	res := s.Run()
@@ -158,7 +177,7 @@ func Fig4(o Options) *report.Table {
 	res := o.grid(len(thresholds), func(name string, col int) *core.Result {
 		cfg := o.Base
 		cfg.StaticThreshold = thresholds[col]
-		return runtimeOf(name, o.Scale, 125, config.PolicyAlways, cfg)
+		return o.runtimeOf(name, 125, config.PolicyAlways, cfg, fmt.Sprintf("ts=%d", thresholds[col]))
 	})
 	for i, name := range o.Workloads {
 		base := res[i][0].Runtime()
@@ -180,7 +199,7 @@ func Fig5(o Options) *report.Table {
 	}
 	pols := []config.MigrationPolicy{config.PolicyDisabled, config.PolicyAlways, config.PolicyAdaptive}
 	res := o.grid(len(pols), func(name string, col int) *core.Result {
-		return runtimeOf(name, o.Scale, 100, pols[col], o.Base)
+		return o.runtimeOf(name, 100, pols[col], o.Base, "")
 	})
 	for i, name := range o.Workloads {
 		base := res[i][0].Runtime()
@@ -212,7 +231,7 @@ func Fig6And7(o Options) (runtime, thrash *report.Table) {
 	cfg.Penalty = 8
 	pols := config.Policies()
 	res := o.grid(len(pols), func(name string, col int) *core.Result {
-		return runtimeOf(name, o.Scale, 125, pols[col], cfg)
+		return o.runtimeOf(name, 125, pols[col], cfg, "")
 	})
 	for i, name := range o.Workloads {
 		baseTime := res[i][0].Runtime()
@@ -253,11 +272,11 @@ func Fig8(o Options) *report.Table {
 	}
 	res := o.grid(1+len(Fig8Penalties), func(name string, col int) *core.Result {
 		if col == 0 {
-			return runtimeOf(name, o.Scale, 125, config.PolicyDisabled, o.Base)
+			return o.runtimeOf(name, 125, config.PolicyDisabled, o.Base, "")
 		}
 		cfg := o.Base
 		cfg.Penalty = Fig8Penalties[col-1]
-		return runtimeOf(name, o.Scale, 125, config.PolicyAdaptive, cfg)
+		return o.runtimeOf(name, 125, config.PolicyAdaptive, cfg, fmt.Sprintf("p=%d", cfg.Penalty))
 	})
 	for i, name := range o.Workloads {
 		base := res[i][0].Runtime()

@@ -15,6 +15,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 )
@@ -102,7 +103,10 @@ type warp struct {
 	outstanding int
 	// readyAt is the max completion cycle among fast-path sectors.
 	readyAt sim.Cycle
-	instr   Instr
+	// issuedAt is the cycle the current memory op was issued, for warp
+	// stall accounting (observability only).
+	issuedAt sim.Cycle
+	instr    Instr
 
 	// Prebound continuations; a warp has at most one in flight at a time.
 	stepFn   sim.Event // resume execution
@@ -137,6 +141,13 @@ type GPU struct {
 	// closures) across dispatches.
 	warpFree []*warp
 	ctaFree  []*ctaState
+
+	// Observability (nil when disabled): total cycles warps spent blocked
+	// on asynchronous memory (remote accesses and far-faults), plus the
+	// per-memory-op stall distribution.
+	stallCycles obs.Counter
+	stallHist   *obs.Histogram
+	obsOn       bool
 }
 
 // New creates a GPU attached to the engine and memory backend; st
@@ -146,6 +157,19 @@ func New(eng *sim.Engine, cfg config.Config, mem MemoryBackend, st *stats.Counte
 		panic(fmt.Sprintf("gpu: %v", err))
 	}
 	return &GPU{eng: eng, cfg: cfg, mem: mem, st: st, sms: make([]sm, cfg.NumSMs)}
+}
+
+// SetObs attaches observability instruments (nil detaches). The GPU
+// publishes warp stall cycles: the time warps spend blocked on
+// asynchronous memory, which thread-level parallelism failed to hide.
+func (g *GPU) SetObs(r *obs.Run) {
+	g.stallCycles, g.stallHist, g.obsOn = obs.Counter{}, nil, false
+	if r == nil || r.Reg == nil {
+		return
+	}
+	g.stallCycles = r.Reg.Counter("gpu.warp_stall_cycles")
+	g.stallHist = r.Reg.Histogram("gpu.stall_cycles_per_memop")
+	g.obsOn = true
 }
 
 // Launch starts a kernel; onDone fires when its last warp retires. Only
@@ -331,6 +355,7 @@ func (g *GPU) issueMemory(w *warp) {
 	write := w.instr.Write
 	w.outstanding = 0
 	w.readyAt = g.eng.Now()
+	w.issuedAt = w.readyAt
 	for i := 0; i < w.nsec; i++ {
 		addr := w.sectors[i]
 		if at, ok := g.mem.TryFastAccess(addr, write); ok {
@@ -357,6 +382,11 @@ func (g *GPU) sectorDone(w *warp) {
 		at := g.eng.Now()
 		if w.readyAt > at {
 			at = w.readyAt
+		}
+		if g.obsOn {
+			stall := uint64(at - w.issuedAt)
+			g.stallCycles.Add(stall)
+			g.stallHist.Observe(stall)
 		}
 		g.resumeAt(w, at)
 	}

@@ -22,6 +22,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/gpu"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 	"uvmsim/internal/uvm"
@@ -40,6 +41,59 @@ type Cluster struct {
 	nodes []*node
 	built *workloads.Built
 	cfg   config.Config
+
+	// Observability (see Observe); zero when disabled.
+	checkers   []*obs.Checker
+	checkEvery uint64
+}
+
+// Observe attaches per-GPU observability: mk is called once per GPU and
+// may return nil to skip that GPU. A shared CheckEvery (the maximum over
+// the returned runs) drives one cluster-wide invariant sweep that walks
+// every driver's consistency check, panicking with a cycle-stamped
+// *obs.Violation on the first breach. Call before Run.
+func (c *Cluster) Observe(mk func(gpuIdx int) *obs.Run) {
+	c.checkers = nil
+	c.checkEvery = 0
+	c.eng.SetDaemon(0, nil)
+	for idx, n := range c.nodes {
+		r := mk(idx)
+		n.drv.SetObs(r)
+		n.g.SetObs(r)
+		if !r.Enabled() {
+			continue
+		}
+		if r.CheckEvery > c.checkEvery {
+			c.checkEvery = r.CheckEvery
+		}
+		if r.Reg != nil {
+			eng := c.eng
+			r.Reg.RegisterProvider(func(e obs.Emitter) {
+				e.Counter("sim.cycles", uint64(eng.Now()))
+				e.Counter("sim.events_fired", eng.Fired())
+			})
+		}
+		ck := &obs.Checker{}
+		drv := n.drv
+		ck.Add(fmt.Sprintf("gpu%d-driver-consistency", idx), drv.CheckConsistencyMidRun)
+		c.checkers = append(c.checkers, ck)
+	}
+	if c.checkEvery > 0 {
+		// The sweep rides on the engine daemon so it observes every
+		// driver at real event boundaries and never extends the run.
+		c.eng.SetDaemon(sim.Cycle(c.checkEvery), c.checkTick)
+	}
+}
+
+// checkTick is the cluster-wide invariant sweep, driven by the engine
+// daemon.
+func (c *Cluster) checkTick() {
+	now := uint64(c.eng.Now())
+	for _, ck := range c.checkers {
+		if err := ck.RunAll(now); err != nil {
+			panic(err)
+		}
+	}
 }
 
 // Result aggregates a cluster run.

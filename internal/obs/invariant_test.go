@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckerStampsCycle(t *testing.T) {
+	var c Checker
+	sentinel := errors.New("resident bytes mismatch")
+	c.Add("accounting", func() error { return sentinel })
+	err := c.RunAll(12345)
+	if err == nil {
+		t.Fatal("expected violation")
+	}
+	var v *Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error type %T", err)
+	}
+	if v.Cycle != 12345 || v.Check != "accounting" || !errors.Is(err, sentinel) {
+		t.Fatalf("violation = %+v", v)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "cycle 12345") {
+		t.Fatalf("diagnostic not cycle-stamped: %q", msg)
+	}
+}
+
+func TestCheckerOrderAndSuccess(t *testing.T) {
+	var c Checker
+	c.Add("first", func() error { return errors.New("one") })
+	c.Add("second", func() error { return errors.New("two") })
+	err := c.RunAll(1)
+	if err == nil || !strings.Contains(err.Error(), `"first"`) {
+		t.Fatalf("first registered check must win: %v", err)
+	}
+	var ok Checker
+	ok.Add("fine", func() error { return nil })
+	if err := ok.RunAll(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMonotonic(t *testing.T) {
+	var c Checker
+	v := uint64(5)
+	c.AddMonotonic("series", func() uint64 { return v })
+	if err := c.RunAll(1); err != nil {
+		t.Fatal(err)
+	}
+	v = 7
+	if err := c.RunAll(2); err != nil {
+		t.Fatal(err)
+	}
+	v = 6
+	err := c.RunAll(3)
+	if err == nil || !strings.Contains(err.Error(), "decreased from 7 to 6") {
+		t.Fatalf("monotonicity regression not caught: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestSuiteDisabledReturnsNilRuns(t *testing.T) {
+	s := NewSuite(Options{})
+	if r := s.NewRun("x"); r != nil {
+		t.Fatalf("disabled suite produced run %+v", r)
+	}
+	if (Options{}).Enabled() {
+		t.Fatal("zero options must be disabled")
+	}
+}
+
+func TestSuiteExportsAreSortedByRunName(t *testing.T) {
+	s := NewSuite(Options{Metrics: true, Trace: true})
+	// Register out of order, from multiple goroutines, as a sweep would.
+	names := []string{"c", "a", "b"}
+	var wg sync.WaitGroup
+	for _, n := range names {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			r := s.NewRun(n)
+			r.Reg.Counter("k").Add(1)
+			r.Tr.Emit(Span{Name: n, Start: 1})
+		}(n)
+	}
+	wg.Wait()
+	snap := s.Collect()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Runs) != 3 || snap.Runs[0].Name != "a" || snap.Runs[1].Name != "b" || snap.Runs[2].Name != "c" {
+		t.Fatalf("runs = %+v", snap.Runs)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back SuiteSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf.Reset()
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged chrome trace invalid: %v", err)
+	}
+	// Three processes, each with a metadata + span event at least.
+	if len(doc.TraceEvents) < 6 {
+		t.Fatalf("trace events = %d", len(doc.TraceEvents))
+	}
+}
+
+func TestSuiteSnapshotValidation(t *testing.T) {
+	bad := SuiteSnapshot{Version: MetricsFormatVersion}
+	if bad.Validate() == nil {
+		t.Fatal("empty runs must fail")
+	}
+	bad = SuiteSnapshot{Version: 2, Runs: []Snapshot{{Version: MetricsFormatVersion, Name: "a", Counters: map[string]uint64{}}}}
+	if bad.Validate() == nil {
+		t.Fatal("bad version must fail")
+	}
+	bad = SuiteSnapshot{Version: MetricsFormatVersion, Runs: []Snapshot{{Version: MetricsFormatVersion, Counters: map[string]uint64{}}}}
+	if bad.Validate() == nil {
+		t.Fatal("unnamed run must fail")
+	}
+}
+
+func TestOptionsNewRun(t *testing.T) {
+	r := Options{Metrics: true, CheckEvery: 10}.NewRun("n")
+	if r == nil || r.Reg == nil || r.Tr != nil || r.CheckEvery != 10 || !r.Enabled() {
+		t.Fatalf("run = %+v", r)
+	}
+	var nilRun *Run
+	if nilRun.Enabled() {
+		t.Fatal("nil run must be disabled")
+	}
+	if s := nilRun.Collect(); s.Version != MetricsFormatVersion {
+		t.Fatalf("nil run collect = %+v", s)
+	}
+}

@@ -16,6 +16,8 @@ package policy
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"uvmsim/internal/config"
 )
@@ -66,7 +68,13 @@ func (d *Decider) Threshold(mem MemState, roundTrips uint64) uint64 {
 		return 1
 	case config.PolicyAdaptive:
 		if mem.Oversubscribed {
-			return d.ts * (roundTrips + 1) * d.p
+			// ts*(r+1)*p must saturate, not wrap: with the paper's
+			// p=2^20 "effectively infinite" setting the plain product
+			// overflows uint64 once r is large enough, and a wrapped
+			// threshold can collapse to a tiny value — re-enabling
+			// migration for exactly the blocks the penalty was supposed
+			// to pin host-side.
+			return satMul(satMul(d.ts, satAdd(roundTrips, 1)), d.p)
 		}
 		if mem.TotalPages == 0 {
 			return 1
@@ -75,6 +83,24 @@ func (d *Decider) Threshold(mem MemState, roundTrips uint64) uint64 {
 	default:
 		panic(fmt.Sprintf("policy: unknown migration policy %v", d.kind))
 	}
+}
+
+// satMul returns a*b, saturating at MaxUint64 on overflow.
+func satMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return math.MaxUint64
+	}
+	return lo
+}
+
+// satAdd returns a+b, saturating at MaxUint64 on overflow.
+func satAdd(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 {
+		return math.MaxUint64
+	}
+	return s
 }
 
 // ShouldMigrate reports whether a block whose access counter has just

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -163,5 +164,53 @@ func TestGiantPenaltyPinsToHost(t *testing.T) {
 	got := d.Threshold(MemState{100, 100, true}, 0)
 	if got != 8*1048576 {
 		t.Fatalf("threshold = %d, want %d", got, 8*1048576)
+	}
+}
+
+// Regression: the Adaptive post-oversubscription product ts*(r+1)*p must
+// saturate at MaxUint64 instead of wrapping. Before the fix, the paper's
+// p=2^20 setting wrapped to a tiny (or zero) threshold once the
+// round-trip count grew past the wrap boundary, silently re-enabling
+// migration for exactly the blocks the penalty was meant to pin.
+func TestAdaptiveThresholdSaturatesAtWrapBoundary(t *testing.T) {
+	over := MemState{100, 100, true}
+	d := decider(config.PolicyAdaptive, 8, 1048576) // ts=2^3, p=2^20
+
+	// ts*p = 2^23, so the plain product wraps at r+1 = 2^41:
+	// 2^23 * 2^41 = 2^64 ≡ 0 (mod 2^64).
+	wrapR := uint64(1)<<41 - 1
+	if got := d.Threshold(over, wrapR); got != math.MaxUint64 {
+		t.Fatalf("threshold at wrap boundary = %d, want MaxUint64", got)
+	}
+	// One step below the boundary the exact product still fits:
+	// 2^23 * (2^41 - 1) = 2^64 - 2^23.
+	if got := d.Threshold(over, wrapR-1); got != math.MaxUint64-(1<<23)+1 {
+		t.Fatalf("threshold below boundary = %d, want 2^64-2^23", got)
+	}
+	// A saturated threshold must keep pinning blocks host-side.
+	if d.ShouldMigrate(1<<40, over, wrapR) {
+		t.Fatal("wrapped threshold re-enabled migration")
+	}
+	// Thresholds stay monotone in r across the boundary.
+	if d.Threshold(over, wrapR) < d.Threshold(over, wrapR-1) {
+		t.Fatal("threshold decreased across the wrap boundary")
+	}
+
+	// The r+1 increment itself must saturate too.
+	if got := d.Threshold(over, math.MaxUint64); got != math.MaxUint64 {
+		t.Fatalf("threshold at r=MaxUint64 = %d, want MaxUint64", got)
+	}
+}
+
+// Property: the Adaptive threshold never wraps below ts once
+// oversubscribed, for any (ts, p, r).
+func TestAdaptiveThresholdNeverBelowTS(t *testing.T) {
+	over := MemState{100, 100, true}
+	f := func(ts, p, r uint64) bool {
+		d := decider(config.PolicyAdaptive, ts%math.MaxUint64+1, p%math.MaxUint64+1)
+		return d.Threshold(over, r) >= d.ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }

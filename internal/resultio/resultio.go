@@ -12,6 +12,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/core"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/stats"
 )
 
@@ -30,6 +31,9 @@ type Record struct {
 	Config         config.Config     `json:"config"`
 	Counters       stats.Counters    `json:"counters"`
 	Spans          []core.KernelSpan `json:"spans,omitempty"`
+	// Metrics is the run's observability snapshot when the run was
+	// executed with metrics collection on (absent otherwise).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // FromResult builds a record from a finished run.
@@ -72,7 +76,58 @@ func Read(r io.Reader) (*Record, error) {
 	if err := rec.Counters.Validate(); err != nil {
 		return nil, fmt.Errorf("resultio: %w", err)
 	}
+	if rec.Metrics != nil {
+		if err := rec.Metrics.Validate(); err != nil {
+			return nil, fmt.Errorf("resultio: %w", err)
+		}
+		if err := checkMetricsAgainstCounters(rec.Metrics, &rec.Counters); err != nil {
+			return nil, fmt.Errorf("resultio: %w", err)
+		}
+	}
 	return &rec, nil
+}
+
+// metricForCounter maps the canonical metric names the driver publishes
+// to the stats.Counters fields they must mirror exactly.
+var metricForCounter = []struct {
+	metric string
+	field  func(*stats.Counters) uint64
+}{
+	{"sim.cycles", func(c *stats.Counters) uint64 { return c.Cycles }},
+	{"uvm.access.near", func(c *stats.Counters) uint64 { return c.NearAccesses }},
+	{"uvm.access.remote_reads", func(c *stats.Counters) uint64 { return c.RemoteReads }},
+	{"uvm.access.remote_writes", func(c *stats.Counters) uint64 { return c.RemoteWrites }},
+	{"uvm.fault.far", func(c *stats.Counters) uint64 { return c.FarFaults }},
+	{"uvm.fault.batches", func(c *stats.Counters) uint64 { return c.FaultBatches }},
+	{"uvm.migrate.pages", func(c *stats.Counters) uint64 { return c.MigratedPages }},
+	{"uvm.migrate.prefetched_pages", func(c *stats.Counters) uint64 { return c.PrefetchedPages }},
+	{"uvm.migrate.thrashed_pages", func(c *stats.Counters) uint64 { return c.ThrashedPages }},
+	{"uvm.evict.pages", func(c *stats.Counters) uint64 { return c.EvictedPages }},
+	{"uvm.evict.writeback_pages", func(c *stats.Counters) uint64 { return c.WrittenBackPages }},
+	{"uvm.pcie.h2d_bytes", func(c *stats.Counters) uint64 { return c.H2DBytes }},
+	{"uvm.pcie.d2h_bytes", func(c *stats.Counters) uint64 { return c.D2HBytes }},
+	{"uvm.tlb.hits", func(c *stats.Counters) uint64 { return c.TLBHits }},
+	{"uvm.tlb.misses", func(c *stats.Counters) uint64 { return c.TLBMisses }},
+	{"uvm.tlb.shootdowns", func(c *stats.Counters) uint64 { return c.TLBShootdowns }},
+	{"gpu.instructions", func(c *stats.Counters) uint64 { return c.Instructions }},
+	{"gpu.mem_instructions", func(c *stats.Counters) uint64 { return c.MemInstructions }},
+	{"gpu.warps_retired", func(c *stats.Counters) uint64 { return c.WarpsRetired }},
+}
+
+// checkMetricsAgainstCounters cross-validates a metrics snapshot against
+// the stats block of the same run: every canonical metric present in the
+// snapshot must equal its counters field.
+func checkMetricsAgainstCounters(m *obs.Snapshot, c *stats.Counters) error {
+	for _, mc := range metricForCounter {
+		got, ok := m.Counters[mc.metric]
+		if !ok {
+			continue // partially instrumented snapshots are fine
+		}
+		if want := mc.field(c); got != want {
+			return fmt.Errorf("metric %q = %d disagrees with counters value %d", mc.metric, got, want)
+		}
+	}
+	return nil
 }
 
 // csvColumns is the flat metric schema shared by CSVHeader and CSVRow.

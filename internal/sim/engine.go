@@ -93,6 +93,14 @@ type Engine struct {
 	live   int
 	fired  uint64
 	budget uint64 // optional safety cap on fired events; 0 = unlimited
+
+	// daemon is the optional periodic observer (see SetDaemon): fn runs
+	// at event boundaries, at most once per daemonEvery cycles. Because
+	// it rides on real events instead of scheduling its own, it can
+	// never extend a run or perturb the (at, seq) order.
+	daemonEvery Cycle
+	daemonNext  Cycle
+	daemonFn    func()
 }
 
 // NewEngine returns an empty engine positioned at cycle 0.
@@ -299,7 +307,25 @@ func (e *Engine) Step() bool {
 		panic(fmt.Sprintf("sim: event budget %d exceeded at cycle %d", e.budget, e.now))
 	}
 	fn()
+	if e.daemonFn != nil && e.now >= e.daemonNext {
+		e.daemonNext = e.now + e.daemonEvery
+		e.daemonFn()
+	}
 	return true
+}
+
+// SetDaemon installs a periodic observer: fn runs after an event fires
+// whenever at least `every` cycles have passed since its previous run
+// (so at real event timestamps, never between or beyond them). The
+// observer must not schedule events — it exists for invariant sweeps
+// and metrics sampling that must leave the simulation untouched.
+// SetDaemon(0, nil) uninstalls.
+func (e *Engine) SetDaemon(every Cycle, fn func()) {
+	if (every == 0) != (fn == nil) {
+		panic("sim: SetDaemon needs both a period and a function (or neither)")
+	}
+	e.daemonEvery, e.daemonFn = every, fn
+	e.daemonNext = e.now + every
 }
 
 // Run fires events until the queue drains and returns the final cycle.

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// The daemon must fire only at real event timestamps, at most once per
+// period, and never extend the run.
+func TestDaemonFiresAtEventBoundaries(t *testing.T) {
+	e := NewEngine()
+	var fires []Cycle
+	e.SetDaemon(10, func() { fires = append(fires, e.Now()) })
+	for _, at := range []Cycle{1, 5, 9, 12, 13, 30, 31, 100} {
+		e.At(at, func() {})
+	}
+	end := e.Run()
+	if end != 100 {
+		t.Fatalf("daemon extended the run: end = %d", end)
+	}
+	// First fire at the first event with now >= 10 (the event at 12);
+	// next threshold 22 -> fires at 30; then 40 -> fires at 100.
+	want := []Cycle{12, 30, 100}
+	if len(fires) != len(want) {
+		t.Fatalf("fires = %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fires = %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestDaemonUninstall(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.SetDaemon(1, func() { count++ })
+	e.At(5, func() {})
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	e.SetDaemon(0, nil)
+	e.At(10, func() {})
+	e.Run()
+	if count != 1 {
+		t.Fatalf("daemon fired after uninstall: count = %d", count)
+	}
+}
+
+func TestDaemonRejectsHalfConfiguration(t *testing.T) {
+	for name, install := range map[string]func(*Engine){
+		"period-no-fn": func(e *Engine) { e.SetDaemon(5, nil) },
+		"fn-no-period": func(e *Engine) { e.SetDaemon(0, func() {}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			install(NewEngine())
+		})
+	}
+}

@@ -42,8 +42,9 @@ type Collector struct {
 }
 
 // NewCollector creates a collector. sampleEvery controls Fig. 3 sampling
-// density: one sample is kept per sampleEvery accesses (1 = keep all;
-// 0 disables pattern sampling).
+// density: the 1st access is kept and then one sample per sampleEvery
+// accesses (1 = keep all; 0 disables pattern sampling entirely — no
+// samples and no access counting toward the sampling period).
 func NewCollector(space *alloc.Space, sampleEvery uint64) *Collector {
 	return &Collector{
 		space:       space,
@@ -67,10 +68,16 @@ func (c *Collector) Observer() uvm.AccessObserver {
 			st.Reads++
 		}
 		if c.sampleEvery > 0 {
-			c.seen++
+			// Keep-then-count: the 1st access is always sampled (then
+			// the N+1th, 2N+1th, ...). Counting first would silently
+			// drop the first N-1 accesses — the opening of every Fig. 3
+			// pattern — and shift every kept sample by one period.
+			// When sampling is disabled (sampleEvery == 0) seen stays
+			// untouched, so enabling it later starts a fresh period.
 			if c.seen%c.sampleEvery == 0 {
 				c.samples = append(c.samples, Sample{Cycle: now, Page: p, Write: write})
 			}
+			c.seen++
 		}
 	}
 }

@@ -52,13 +52,19 @@ func TestSampling(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		obs(uint64(i*100), a.Base+uint64(i)*memunits.PageSize, i%2 == 0, uvm.AccessNear)
 	}
-	// 10 accesses, every 3rd kept: 3 samples.
-	if len(c.Samples()) != 3 {
-		t.Fatalf("samples = %d, want 3", len(c.Samples()))
+	// 10 accesses with 1-in-3 sampling: the 1st, 4th, 7th and 10th are
+	// kept. Keeping the 1st access (not the 3rd) is load-bearing — it
+	// is the opening of the access pattern.
+	if len(c.Samples()) != 4 {
+		t.Fatalf("samples = %d, want 4", len(c.Samples()))
 	}
-	for i := 1; i < len(c.Samples()); i++ {
-		if c.Samples()[i].Cycle < c.Samples()[i-1].Cycle {
-			t.Fatal("samples out of time order")
+	if c.Samples()[0].Cycle != 0 {
+		t.Fatalf("first sample at cycle %d, want the very first access (cycle 0)", c.Samples()[0].Cycle)
+	}
+	want := []uint64{0, 300, 600, 900}
+	for i, s := range c.Samples() {
+		if uint64(s.Cycle) != want[i] {
+			t.Fatalf("sample %d at cycle %d, want %d", i, s.Cycle, want[i])
 		}
 	}
 }
@@ -66,9 +72,17 @@ func TestSampling(t *testing.T) {
 func TestSamplingDisabled(t *testing.T) {
 	s, a, _ := setup()
 	c := NewCollector(s, 0)
-	c.Observer()(1, a.Base, false, uvm.AccessNear)
+	obs := c.Observer()
+	for i := 0; i < 5; i++ {
+		obs(uint64(i), a.Base, false, uvm.AccessNear)
+	}
 	if len(c.Samples()) != 0 {
 		t.Fatal("sampling not disabled")
+	}
+	// Disabled sampling must not count accesses toward a period: the
+	// frequency view still works, but seen stays zero.
+	if c.seen != 0 {
+		t.Fatalf("seen = %d with sampling disabled, want 0", c.seen)
 	}
 }
 

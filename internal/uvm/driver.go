@@ -27,6 +27,7 @@ import (
 	"uvmsim/internal/evict"
 	"uvmsim/internal/interconnect"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/obs"
 	"uvmsim/internal/policy"
 	"uvmsim/internal/prefetch"
 	"uvmsim/internal/sim"
@@ -108,6 +109,9 @@ type migration struct {
 	cs     *chunkState
 	blocks []memunits.BlockNum
 	demand memunits.BlockNum // the faulting block; others are prefetch
+	// dispatchedAt stamps when the DMA went on the wire (observability
+	// only).
+	dispatchedAt sim.Cycle
 }
 
 // Driver is the UVM driver model.
@@ -164,7 +168,9 @@ type Driver struct {
 	faultLatency sim.Cycle
 	gmmuTLB      *tlb
 	obs          AccessObserver
-	finalized    bool
+	// o holds the observability hooks (see obs.go); nil when disabled.
+	o         *driverObs
+	finalized bool
 }
 
 // New creates a driver for the given configuration and address space.
@@ -469,6 +475,9 @@ func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
 	if !d.batchScheduled {
 		d.batchScheduled = true
 		d.st.FaultBatches++
+		if d.o != nil {
+			d.o.batchOpenedAt = d.eng.Now()
+		}
 		d.eng.After(d.faultLatency, d.processBatchFn)
 	}
 	d.batch = append(d.batch, b)
@@ -480,6 +489,15 @@ func (d *Driver) processBatch() {
 	batch := d.batch
 	d.batch, d.batchSpare = d.batchSpare[:0], batch
 	d.batchScheduled = false
+	if o := d.o; o != nil {
+		o.batchSize.Observe(uint64(len(batch)))
+		o.tr.Emit(obs.Span{
+			Name: "fault_batch", Cat: "fault", TID: obs.TrackFault,
+			Start: uint64(o.batchOpenedAt),
+			Dur:   uint64(d.eng.Now() - o.batchOpenedAt),
+			Value: uint64(len(batch)),
+		})
+	}
 	for _, b := range batch {
 		bs := d.block(b)
 		if bs.resident || bs.scheduled {
@@ -505,6 +523,13 @@ func (d *Driver) processBatch() {
 		if len(blocks) == 0 {
 			d.putBlockList(blocks)
 			continue
+		}
+		if o := d.o; o != nil && len(blocks) > 1 {
+			o.prefetchBlocks.Observe(uint64(len(blocks) - 1))
+			o.tr.Emit(obs.Span{
+				Name: "prefetch_batch", Cat: "prefetch", TID: obs.TrackPrefetch,
+				Start: uint64(d.eng.Now()), Value: uint64(len(blocks) - 1),
+			})
 		}
 		cs.queuedBlocks += len(blocks)
 		d.waiting = append(d.waiting, migration{cs: cs, blocks: blocks, demand: b})
@@ -552,6 +577,7 @@ func (d *Driver) drainWaiting() {
 func (d *Driver) dispatch(m migration) {
 	pages := uint64(len(m.blocks)) * memunits.PagesPerBlock
 	d.mem.Allocate(pages)
+	o := d.o
 	for _, b := range m.blocks {
 		bs := d.block(b)
 		d.st.MigratedPages += memunits.PagesPerBlock
@@ -560,10 +586,17 @@ func (d *Driver) dispatch(m migration) {
 		}
 		if bs.everEvicted {
 			d.st.ThrashedPages += memunits.PagesPerBlock
+			if o != nil {
+				o.thrashEvents.Inc()
+			}
 		}
 	}
 	m.cs.queuedBlocks -= len(m.blocks)
 	m.cs.inFlightBlocks += len(m.blocks)
+	if o != nil {
+		o.dmaBlocks.Observe(uint64(len(m.blocks)))
+	}
+	m.dispatchedAt = d.eng.Now()
 	bytes := uint64(len(m.blocks)) * memunits.BlockSize
 	d.link.Transfer(interconnect.HostToDevice, bytes, func() { d.landMigration(m) })
 }
@@ -590,6 +623,13 @@ func (d *Driver) landMigration(m migration) {
 	m.cs.inFlightBlocks -= len(m.blocks)
 	m.cs.residentBlocks += len(m.blocks)
 	m.cs.lastAccess = now
+	if o := d.o; o != nil {
+		o.tr.Emit(obs.Span{
+			Name: "migrate_dma", Cat: "dma", TID: obs.TrackDMA,
+			Start: uint64(m.dispatchedAt), Dur: uint64(now - m.dispatchedAt),
+			Value: uint64(len(m.blocks)),
+		})
+	}
 	d.putBlockList(m.blocks)
 	d.drainWaiting()
 }
@@ -658,6 +698,7 @@ func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
 	if !ok {
 		return nil
 	}
+	d.noteVictim(cands[idx], strict)
 	return states[idx]
 }
 
@@ -704,6 +745,13 @@ func (d *Driver) evictChunk(cs *chunkState) {
 			tree.MarkOccupied(int(b - first))
 		}
 	}
+	if o := d.o; o != nil {
+		o.victimTrips.Observe(d.ctrs.MaxRoundTrips(uint64(first), uint64(cs.info.Blocks())))
+		o.tr.Emit(obs.Span{
+			Name: "evict_chunk", Cat: "evict", TID: obs.TrackEvict,
+			Start: uint64(d.eng.Now()), Value: evictedBlocks,
+		})
+	}
 	d.finishEviction(evictedBlocks, dirtyBlocks)
 }
 
@@ -744,15 +792,18 @@ func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
 		d.candScratch, d.numScratch, d.ownerScratch = cands, nums, owners
 		return cands
 	}
+	strict := true
 	cands := collect(true)
 	idx, ok := d.replace.SelectVictim(cands)
 	if !ok {
+		strict = false
 		cands = collect(false)
 		idx, ok = d.replace.SelectVictim(cands)
 	}
 	if !ok {
 		return false
 	}
+	d.noteVictim(cands[idx], strict)
 	b, cs := d.numScratch[idx], d.ownerScratch[idx]
 	bs := d.blockAt(b)
 	bs.resident = false
@@ -766,6 +817,13 @@ func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
 	}
 	cs.residentBlocks--
 	cs.pf.Tree().MarkEmpty(int(b - cs.info.FirstBlock()))
+	if o := d.o; o != nil {
+		o.victimTrips.Observe(d.ctrs.RoundTrips(uint64(b)))
+		o.tr.Emit(obs.Span{
+			Name: "evict_block", Cat: "evict", TID: obs.TrackEvict,
+			Start: uint64(d.eng.Now()), Value: 1,
+		})
+	}
 	d.finishEviction(1, dirty)
 	return true
 }

@@ -1,0 +1,130 @@
+package uvm
+
+import (
+	"fmt"
+
+	"uvmsim/internal/evict"
+	"uvmsim/internal/interconnect"
+	"uvmsim/internal/obs"
+	"uvmsim/internal/sim"
+)
+
+// driverObs bundles the driver's observability handles. The driver holds
+// a nil *driverObs when observability is off, so every hook below hides
+// behind a single pointer test and the fault/migration/eviction paths
+// stay byte-identical with instrumentation disabled. All handles are
+// individually nil-safe, so a Run with only a tracer (or only metrics)
+// works without further branching.
+type driverObs struct {
+	tr    *obs.Tracer
+	check bool // enforce the no-pinned-victim invariant at selection time
+
+	// selStrict/selRelaxed count victim selections by pass
+	// (uvm.evict.selections.<POLICY>.{strict,relaxed}).
+	selStrict  obs.Counter
+	selRelaxed obs.Counter
+	// thrashEvents counts block re-migrations (a previously evicted
+	// block coming back), the per-event form of stats.ThrashedPages.
+	thrashEvents obs.Counter
+
+	batchSize      *obs.Histogram // faults per batch round
+	dmaBlocks      *obs.Histogram // blocks per host-to-device DMA
+	prefetchBlocks *obs.Histogram // prefetched blocks per faulting leaf
+	victimTrips    *obs.Histogram // max round-trip count of evicted units
+
+	// batchOpenedAt stamps the cycle the pending fault batch opened, so
+	// the fault_batch span covers the full handling latency.
+	batchOpenedAt sim.Cycle
+}
+
+// SetObs attaches (or with a disabled Run detaches) the run's
+// observability instruments to the driver. Call before the simulation
+// starts; attaching instruments never changes simulated behaviour.
+func (d *Driver) SetObs(r *obs.Run) {
+	d.o = nil
+	if !r.Enabled() {
+		return
+	}
+	o := &driverObs{tr: r.Tr, check: r.CheckEvery > 0}
+	if r.Reg != nil {
+		pol := d.replace.Name()
+		o.selStrict = r.Reg.Counter("uvm.evict.selections." + pol + ".strict")
+		o.selRelaxed = r.Reg.Counter("uvm.evict.selections." + pol + ".relaxed")
+		o.thrashEvents = r.Reg.Counter("uvm.thrash.block_remigrations")
+		o.batchSize = r.Reg.Histogram("uvm.fault.batch_size")
+		o.dmaBlocks = r.Reg.Histogram("uvm.migrate.blocks_per_dma")
+		o.prefetchBlocks = r.Reg.Histogram("uvm.prefetch.blocks_per_fault")
+		o.victimTrips = r.Reg.Histogram("uvm.evict.victim_round_trips")
+		d.publishSnapshots(r.Reg)
+		d.link.PublishMetrics(r.Reg)
+	}
+	d.o = o
+}
+
+// publishSnapshots registers the provider exposing the driver's canonical
+// counters (the same values stats.Counters reports) plus access-counter
+// file and device-memory state. Values are read at collection time only.
+func (d *Driver) publishSnapshots(reg *obs.Registry) {
+	reg.RegisterProvider(func(e obs.Emitter) {
+		st := d.st
+		e.Counter("uvm.access.near", st.NearAccesses)
+		e.Counter("uvm.access.remote_reads", st.RemoteReads)
+		e.Counter("uvm.access.remote_writes", st.RemoteWrites)
+		e.Counter("uvm.fault.far", st.FarFaults)
+		e.Counter("uvm.fault.batches", st.FaultBatches)
+		e.Counter("uvm.migrate.pages", st.MigratedPages)
+		e.Counter("uvm.migrate.prefetched_pages", st.PrefetchedPages)
+		e.Counter("uvm.migrate.thrashed_pages", st.ThrashedPages)
+		e.Counter("uvm.evict.pages", st.EvictedPages)
+		e.Counter("uvm.evict.writeback_pages", st.WrittenBackPages)
+		e.Counter("uvm.tlb.hits", st.TLBHits)
+		e.Counter("uvm.tlb.misses", st.TLBMisses)
+		e.Counter("uvm.tlb.shootdowns", st.TLBShootdowns)
+		e.Counter("gpu.instructions", st.Instructions)
+		e.Counter("gpu.mem_instructions", st.MemInstructions)
+		e.Counter("gpu.warps_retired", st.WarpsRetired)
+		// Byte totals come from the link directly so they are correct
+		// even before Finalize folds them into stats.
+		e.Counter("uvm.pcie.h2d_bytes", d.link.Stats(interconnect.HostToDevice).Bytes)
+		e.Counter("uvm.pcie.d2h_bytes", d.link.Stats(interconnect.DeviceToHost).Bytes)
+		accessHalvings, tripHalvings := d.ctrs.Halvings()
+		e.Counter("uvm.counters.total_accesses", d.ctrs.TotalAccesses())
+		e.Counter("uvm.counters.halvings_access", accessHalvings)
+		e.Counter("uvm.counters.halvings_trips", tripHalvings)
+		e.Gauge("uvm.counters.tracked", float64(d.ctrs.Tracked()))
+		e.Counter("devmem.total_pages", d.mem.TotalPages())
+		e.Counter("devmem.peak_pages", d.mem.PeakPages())
+		oversub := uint64(0)
+		if d.mem.Oversubscribed() {
+			oversub = 1
+		}
+		e.Counter("devmem.oversubscribed", oversub)
+		e.Gauge("devmem.allocated_pages", float64(d.mem.AllocatedPages()))
+		e.Gauge("devmem.occupancy", d.mem.Occupancy())
+	})
+}
+
+// noteVictim enforces the no-pinned-victim invariant and counts the
+// selection pass. cand is the winning candidate; strict tells which pass
+// chose it. Panics with a cycle-stamped *obs.Violation when the
+// replacement policy returned a pinned unit while invariant checking is
+// on — that is a policy bug, never a legal outcome.
+func (d *Driver) noteVictim(cand evict.Candidate, strict bool) {
+	o := d.o
+	if o == nil {
+		return
+	}
+	if strict {
+		o.selStrict.Inc()
+	} else {
+		o.selRelaxed.Inc()
+	}
+	if o.check && cand.Pinned {
+		panic(&obs.Violation{
+			Cycle: uint64(d.eng.Now()),
+			Check: "no-pinned-victim",
+			Err: fmt.Errorf("replacement policy %s selected pinned unit %d (strict=%v)",
+				d.replace.Name(), cand.Unit, strict),
+		})
+	}
+}
