@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet race bench bench-baseline figures check ci smoke
+.PHONY: build test short vet staticcheck race bench bench-baseline bench-smoke figures check ci smoke
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ short:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. staticcheck is not vendored; the target
+# skips with a notice when the binary is absent (CI installs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Race-detect the whole module; internal/sweep and internal/multigpu
 # hold the only real concurrency, but the sweeps drag every simulator
 # package through the detector too.
@@ -24,9 +33,18 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Regenerate the committed perf trajectory (see README, "Profiling and
-# the performance baseline"). Run on an idle machine.
+# the performance baseline"). Run on an idle machine. The scale and
+# workload subset must match bench-smoke below: the archived Fig6And7
+# simulated-cycle total is its drift baseline.
 bench-baseline:
-	$(GO) run ./cmd/paperbench -bench-json BENCH_baseline.json -scale 0.25
+	$(GO) run ./cmd/paperbench -bench-json BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
+
+# Behaviour-drift gate: rerun the Fig. 6/7 sweep (bfs+sssp subset at
+# scale 0.1) and fail if the deterministic simulated-cycle total drifts
+# more than ±2% from the committed baseline. Intentional behaviour
+# changes regenerate the baseline with bench-baseline.
+bench-smoke:
+	$(GO) run ./cmd/paperbench -bench-compare BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
 
 figures:
 	$(GO) run ./cmd/paperbench -fig all
@@ -42,6 +60,7 @@ smoke:
 	grep -q '"version": 1' /tmp/uvmsim-smoke-metrics.json
 	grep -q '"runs"' /tmp/uvmsim-smoke-metrics.json
 
-# What CI runs (.github/workflows/ci.yml): vet, build, race-detected
-# tests, then the observability smoke.
-ci: vet build race smoke
+# What CI runs (.github/workflows/ci.yml): vet + staticcheck, build,
+# race-detected tests, the observability smoke, then the bench-smoke
+# drift gate.
+ci: vet staticcheck build race smoke bench-smoke

@@ -14,6 +14,14 @@
 //	paperbench -fig 6 -memprofile mem.pprof   # heap profile at exit
 //	paperbench -bench-json BENCH_baseline.json -scale 0.25
 //	                                # measure the perf-trajectory suite
+//	paperbench -bench-compare BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
+//	                                # fail if simulated cycles drift >2%
+//
+// Memory-management pipeline overrides (see DESIGN.md, "Memory-management
+// pipeline"):
+//
+//	paperbench -fig 6 -planner thrash-guard
+//	paperbench -fig 6 -replacement lru -prefetcher none
 //
 // Observability (see DESIGN.md, "Observability"):
 //
@@ -26,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,6 +43,7 @@ import (
 
 	"uvmsim"
 	"uvmsim/internal/cliutil"
+	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/plot"
 	"uvmsim/internal/resultio"
@@ -52,9 +62,10 @@ type options struct {
 	csv        bool
 	plotOut    bool
 	sample     uint64
-	cpuprofile string
-	memprofile string
-	benchJSON  string
+	cpuprofile   string
+	memprofile   string
+	benchJSON    string
+	benchCompare string
 
 	metricsJSON     string
 	traceOut        string
@@ -72,9 +83,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		o         options
-		scale     = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-		workloads = fs.String("workloads", "", "comma-separated workload subset (default: all)")
+		o           options
+		scale       = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		workloads   = fs.String("workloads", "", "comma-separated workload subset (default: all)")
+		planner     = fs.String("planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
+		replacement = fs.String("replacement", "", "replacement policy for eviction: lru, lfu (default: paper pairing)")
+		prefetcher  = fs.String("prefetcher", "", "prefetcher: tree, none, sequential (default: tree)")
 	)
 	fs.StringVar(&o.fig, "fig", "", "figure to regenerate: 1-8, or 'all'")
 	fs.BoolVar(&o.table1, "table1", false, "print Table I (simulated system configuration)")
@@ -84,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&o.benchJSON, "bench-json", "", "run the benchmark suite and write a versioned JSON report to this file ('-' for stdout)")
+	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the observability metric registry of every simulation cell to this file as JSON ('-' for stdout)")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write cycle-stamped timeline traces to this file (.jsonl = compact JSONL, otherwise Chrome trace_event JSON)")
 	fs.Uint64Var(&o.traceSample, "trace-sample", 1, "keep one of every N trace spans (with -trace-out; 1 = all)")
@@ -91,7 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !o.table1 && o.fig == "" && o.benchJSON == "" {
+	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" {
 		fs.Usage()
 		return 2
 	}
@@ -102,6 +117,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o.opt = uvmsim.ExperimentOptions{Scale: *scale}
 	if *workloads != "" {
 		o.opt.Workloads = cliutil.SplitList(*workloads)
+	}
+	if *planner != "" || *replacement != "" || *prefetcher != "" {
+		base := uvmsim.DefaultConfig()
+		name, err := cliutil.ParseComponentName("planner", *planner, mm.PlannerNames())
+		if err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 2
+		}
+		base.MMPipeline.Planner = name
+		// The replacement override rides on the evictor seam rather than
+		// Config.Replacement: sweeps apply WithPolicy per cell, which
+		// re-pairs Replacement with the migration policy, while a named
+		// evictor survives the pairing.
+		if rp, ok, err := cliutil.ParseReplacement(*replacement); err != nil {
+			fmt.Fprintf(stderr, "paperbench: %v\n", err)
+			return 2
+		} else if ok {
+			base.MMPipeline.Evictor = strings.ToLower(rp.String())
+		}
+		if *prefetcher != "" {
+			pf, err := cliutil.ParsePrefetcher(*prefetcher)
+			if err != nil {
+				fmt.Fprintf(stderr, "paperbench: %v\n", err)
+				return 2
+			}
+			base.Prefetcher = pf
+		}
+		o.opt.Base = base
 	}
 	if err := execute(o, stdout, stderr); err != nil {
 		fmt.Fprintf(stderr, "paperbench: %v\n", err)
@@ -182,6 +225,11 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 
 	if o.benchJSON != "" {
 		if err := runBenchSuite(o.benchJSON, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchCompare != "" {
+		if err := runBenchCompare(o.benchCompare, o.opt, stdout, stderr); err != nil {
 			return err
 		}
 	}
@@ -296,6 +344,11 @@ func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.Experim
 // Fig. 6/7 sweeps plus the event-engine microbenchmarks that guard the
 // hot path — and writes a versioned resultio.BenchSuite.
 func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, stderr io.Writer) error {
+	// fig67Cycles records the deterministic simulated-cycle total of the
+	// Fig. 6/7 sweep (every iteration produces the same value); it is
+	// archived alongside the wall-clock measurement so bench-compare has
+	// a machine-independent drift metric.
+	var fig67Cycles uint64
 	benchmarks := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -311,10 +364,11 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, 
 		{"Fig6And7", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rt, th := uvmsim.Fig6And7(opt)
+				rt, th, cycles := uvmsim.Fig6And7Cycles(opt)
 				if rt == nil || th == nil {
 					b.Fatal("empty figure")
 				}
+				fig67Cycles = cycles
 			}
 		}},
 		{"EngineSchedule", func(b *testing.B) {
@@ -351,6 +405,7 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, 
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      opt.Scale,
+		Workloads:  opt.Workloads,
 	}
 	for _, bm := range benchmarks {
 		fmt.Fprintf(stderr, "bench %s...\n", bm.name)
@@ -358,13 +413,17 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, 
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s did not run (did it fail?)", bm.name)
 		}
-		suite.Results = append(suite.Results, resultio.BenchResult{
+		res := resultio.BenchResult{
 			Name:        bm.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		}
+		if bm.name == "Fig6And7" {
+			res.SimCycles = fig67Cycles
+		}
+		suite.Results = append(suite.Results, res)
 	}
 
 	out := stdout
@@ -377,4 +436,53 @@ func runBenchSuite(path string, opt uvmsim.ExperimentOptions, stdout io.Writer, 
 		out = f
 	}
 	return resultio.WriteBenchSuite(out, suite)
+}
+
+// benchDriftLimit is the allowed relative drift of the simulated-cycle
+// total against the committed baseline.
+const benchDriftLimit = 0.02
+
+// runBenchCompare is the bench-smoke gate: it reruns the Fig. 6/7 sweep
+// once (untimed — the metric is simulated cycles, not wall clock) and
+// fails when the total drifts more than benchDriftLimit from the
+// archived baseline. An intentional behaviour change regenerates the
+// baseline with -bench-json at the same -scale and -workloads.
+func runBenchCompare(path string, opt uvmsim.ExperimentOptions, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := resultio.ReadBenchSuite(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if base.Scale != opt.Scale {
+		return fmt.Errorf("baseline %s was measured at scale %v, not %v; pass -scale %v or regenerate",
+			path, base.Scale, opt.Scale, base.Scale)
+	}
+	if bw, ow := strings.Join(base.Workloads, ","), strings.Join(opt.Workloads, ","); bw != ow {
+		return fmt.Errorf("baseline %s was measured over workloads %q, not %q; pass -workloads %q or regenerate",
+			path, bw, ow, bw)
+	}
+	var want *resultio.BenchResult
+	for i := range base.Results {
+		if base.Results[i].Name == "Fig6And7" && base.Results[i].SimCycles > 0 {
+			want = &base.Results[i]
+		}
+	}
+	if want == nil {
+		return fmt.Errorf("baseline %s carries no Fig6And7 simulated-cycle total; regenerate it with -bench-json", path)
+	}
+	fmt.Fprintf(stderr, "bench-compare: running the Fig. 6/7 sweep at scale %v...\n", opt.Scale)
+	_, _, got := uvmsim.Fig6And7Cycles(opt)
+	drift := float64(got)/float64(want.SimCycles) - 1
+	fmt.Fprintf(stdout, "bench-compare: Fig6And7 simulated cycles %d vs baseline %d (drift %+.3f%%)\n",
+		got, want.SimCycles, drift*100)
+	if math.Abs(drift) > benchDriftLimit {
+		return fmt.Errorf("simulated cycles drifted %+.2f%% from %s (limit ±%.0f%%)",
+			drift*100, path, benchDriftLimit*100)
+	}
+	fmt.Fprintf(stdout, "bench-compare: PASS (within ±%.0f%%)\n", benchDriftLimit*100)
+	return nil
 }

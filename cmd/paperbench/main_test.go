@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"uvmsim/internal/config"
+	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 )
 
@@ -113,5 +115,89 @@ func TestSweepWithMetricsAndInvariants(t *testing.T) {
 		if !strings.HasPrefix(r.Name, "ra/") {
 			t.Fatalf("unexpected run name %q", r.Name)
 		}
+	}
+}
+
+// Unknown pipeline-override names must exit 2 before any sweep runs.
+func TestUnknownPipelineOverridesExitNonZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"planner", []string{"-table1", "-planner", "bogus"}, "unknown planner"},
+		{"replacement", []string{"-table1", "-replacement", "mru"}, "unknown replacement"},
+		{"prefetcher", []string{"-table1", "-prefetcher", "oracle"}, "unknown prefetcher"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("run(%q) = %d, want 2", tc.args, code)
+			}
+			if !strings.Contains(stderr, tc.wantErr) {
+				t.Fatalf("stderr = %q, want substring %q", stderr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Every advertised name is accepted by the flag surface: enum String()
+// values and registered planner names parse cleanly (using -table1 so
+// the invocation stays instant).
+func TestAdvertisedOverrideNamesParse(t *testing.T) {
+	runOK := func(t *testing.T, args ...string) {
+		t.Helper()
+		args = append([]string{"-table1"}, args...)
+		if code, _, stderr := runCLI(t, args...); code != 0 {
+			t.Fatalf("run(%q) = %d, stderr %q", args, code, stderr)
+		}
+	}
+	for _, n := range mm.PlannerNames() {
+		t.Run("planner/"+n, func(t *testing.T) { runOK(t, "-planner", n) })
+	}
+	for _, rp := range []config.ReplacementPolicy{config.ReplaceLRU, config.ReplaceLFU} {
+		t.Run("replacement/"+rp.String(), func(t *testing.T) { runOK(t, "-replacement", rp.String()) })
+	}
+	for _, pf := range []config.PrefetcherKind{config.PrefetchTree, config.PrefetchNone, config.PrefetchSequential} {
+		t.Run("prefetcher/"+pf.String(), func(t *testing.T) { runOK(t, "-prefetcher", pf.String()) })
+	}
+}
+
+// A pipeline override must actually reach the sweep: disabling the
+// prefetch governor changes the cells of a small Fig. 6 run.
+func TestPipelineOverrideReachesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	base := []string{"-fig", "6", "-csv", "-scale", "0.02", "-workloads", "ra"}
+	_, defOut, _ := runCLI(t, base...)
+	_, soloOut, _ := runCLI(t, append(append([]string{}, base...), "-prefetcher", "none")...)
+	if defOut == "" || soloOut == "" {
+		t.Fatal("empty sweep output")
+	}
+	if defOut == soloOut {
+		t.Fatal("-prefetcher none produced byte-identical Fig. 6 output; override did not reach the sweep")
+	}
+}
+
+// The bench-compare gate passes against a baseline it just generated
+// and rejects baselines measured at another scale.
+func TestBenchCompareAgainstFreshBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{"-bench-json", path, "-scale", "0.02", "-workloads", "ra"}
+	if code, _, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("bench-json failed: %d %q", code, stderr)
+	}
+	cmp := []string{"-bench-compare", path, "-scale", "0.02", "-workloads", "ra"}
+	if code, stdout, stderr := runCLI(t, cmp...); code != 0 || !strings.Contains(stdout, "PASS") {
+		t.Fatalf("bench-compare = %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	wrongScale := []string{"-bench-compare", path, "-scale", "0.05", "-workloads", "ra"}
+	if code, _, stderr := runCLI(t, wrongScale...); code == 0 || !strings.Contains(stderr, "scale") {
+		t.Fatalf("scale mismatch not rejected: %d %q", code, stderr)
 	}
 }

@@ -7,6 +7,13 @@
 //	       [-ts 8] [-p 8] [-replacement lfu] [-prefetcher tree]
 //	       [-granularity 2m|64k] [-spans] [-csv]
 //
+// Memory-management pipeline stages (see DESIGN.md, "Memory-management
+// pipeline") are selected by registry name; empty picks the built-in
+// stage for the configuration:
+//
+//	uvmsim -workload sssp -planner thrash-guard
+//	uvmsim -workload sssp -evictor lru -batcher dedup
+//
 // Observability (see DESIGN.md, "Observability"):
 //
 //	uvmsim -workload sssp -metrics-json metrics.json     # metric registry
@@ -25,6 +32,7 @@ import (
 	"uvmsim"
 	"uvmsim/internal/cliutil"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/resultio"
 	"uvmsim/internal/workloads"
@@ -47,6 +55,9 @@ type options struct {
 	replacement string
 	prefetcher  string
 	granularity string
+	planner     string
+	evictor     string
+	batcher     string
 	graphFile   string
 	spans       bool
 	csv         bool
@@ -76,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.replacement, "replacement", "", "override replacement policy: lru, lfu (default: paper pairing)")
 	fs.StringVar(&o.prefetcher, "prefetcher", "tree", "prefetcher: tree, none, sequential")
 	fs.StringVar(&o.granularity, "granularity", "2m", "eviction granularity: 2m, 64k")
+	fs.StringVar(&o.planner, "planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
+	fs.StringVar(&o.evictor, "evictor", "", "eviction engine: "+strings.Join(mm.EvictorNames(), ", ")+" (default: configured replacement)")
+	fs.StringVar(&o.batcher, "batcher", "", "fault batcher: "+strings.Join(mm.BatcherNames(), ", ")+" (default: accumulate)")
 	fs.StringVar(&o.graphFile, "graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
 	fs.BoolVar(&o.spans, "spans", false, "print per-kernel timing spans")
 	fs.BoolVar(&o.csv, "csv", false, "print metrics as CSV")
@@ -129,6 +143,15 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	if cfg.EvictionGranularity, err = cliutil.ParseGranularity(o.granularity); err != nil {
+		return err
+	}
+	if cfg.MMPipeline.Planner, err = cliutil.ParseComponentName("planner", o.planner, mm.PlannerNames()); err != nil {
+		return err
+	}
+	if cfg.MMPipeline.Evictor, err = cliutil.ParseComponentName("evictor", o.evictor, mm.EvictorNames()); err != nil {
+		return err
+	}
+	if cfg.MMPipeline.Batcher, err = cliutil.ParseComponentName("batcher", o.batcher, mm.BatcherNames()); err != nil {
 		return err
 	}
 

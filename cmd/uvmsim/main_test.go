@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"uvmsim/internal/config"
+	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/resultio"
 )
@@ -158,5 +160,62 @@ func TestTraceJSONLOutput(t *testing.T) {
 	var first map[string]interface{}
 	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
 		t.Fatalf("JSONL line 1: %v", err)
+	}
+}
+
+// Unknown pipeline-component names must exit 2 like every other bad
+// flag value.
+func TestUnknownPipelineComponentsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"planner", []string{"-planner", "bogus"}},
+		{"evictor", []string{"-evictor", "mru"}},
+		{"batcher", []string{"-batcher", "bogus"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("run(%q) = %d, want 2", tc.args, code)
+			}
+			if !strings.Contains(stderr, "unknown "+tc.name) {
+				t.Fatalf("stderr = %q, want unknown-%s error", stderr, tc.name)
+			}
+		})
+	}
+}
+
+// Every enum and registry name the tool advertises must be accepted by
+// the flag surface: config enum String() values round-trip through the
+// CLI parsers, and every registered pipeline component is selectable by
+// its listed name.
+func TestAdvertisedNamesRoundTripThroughFlags(t *testing.T) {
+	base := []string{"-workload", "ra", "-scale", "0.02"}
+	runOK := func(t *testing.T, extra ...string) {
+		t.Helper()
+		args := append(append([]string{}, base...), extra...)
+		if code, _, stderr := runCLI(t, args...); code != 0 {
+			t.Fatalf("run(%q) = %d, stderr %q", args, code, stderr)
+		}
+	}
+	for _, pol := range config.Policies() {
+		t.Run("policy/"+pol.String(), func(t *testing.T) { runOK(t, "-policy", pol.String()) })
+	}
+	for _, rp := range []config.ReplacementPolicy{config.ReplaceLRU, config.ReplaceLFU} {
+		t.Run("replacement/"+rp.String(), func(t *testing.T) { runOK(t, "-replacement", rp.String()) })
+	}
+	for _, pf := range []config.PrefetcherKind{config.PrefetchTree, config.PrefetchNone, config.PrefetchSequential} {
+		t.Run("prefetcher/"+pf.String(), func(t *testing.T) { runOK(t, "-prefetcher", pf.String()) })
+	}
+	for _, n := range mm.PlannerNames() {
+		t.Run("planner/"+n, func(t *testing.T) { runOK(t, "-planner", n) })
+	}
+	for _, n := range mm.EvictorNames() {
+		t.Run("evictor/"+n, func(t *testing.T) { runOK(t, "-evictor", n) })
+	}
+	for _, n := range mm.BatcherNames() {
+		t.Run("batcher/"+n, func(t *testing.T) { runOK(t, "-batcher", n) })
 	}
 }

@@ -81,6 +81,24 @@ func ParseAdvice(s string) (string, error) {
 	}
 }
 
+// ParseComponentName validates a registry-backed pipeline component
+// name (see internal/mm) against the registered set. Empty means "use
+// the configuration default" and passes through unchanged; non-empty
+// names are case-insensitive and must be registered. kind names the
+// flag in the error message.
+func ParseComponentName(kind, s string, registered []string) (string, error) {
+	if s == "" {
+		return "", nil
+	}
+	v := strings.ToLower(strings.TrimSpace(s))
+	for _, n := range registered {
+		if v == n {
+			return v, nil
+		}
+	}
+	return "", fmt.Errorf("unknown %s %q (have %s)", kind, s, strings.Join(registered, ", "))
+}
+
 // SplitList splits a comma-separated list, trimming blanks and dropping
 // empty entries.
 func SplitList(s string) []string {

@@ -94,3 +94,40 @@ func TestSplitList(t *testing.T) {
 		t.Error("empty input should return nil")
 	}
 }
+
+// Every enum value must survive the round trip through its own String()
+// and back through the CLI parser — a renamed enum constant that the
+// parsers no longer recognize is a flag-compatibility break.
+func TestEnumStringsRoundTrip(t *testing.T) {
+	for _, pol := range config.Policies() {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", pol.String(), got, err, pol)
+		}
+	}
+	for _, rp := range []config.ReplacementPolicy{config.ReplaceLRU, config.ReplaceLFU} {
+		got, ok, err := ParseReplacement(rp.String())
+		if err != nil || !ok || got != rp {
+			t.Errorf("ParseReplacement(%q) = %v, %v, %v; want %v", rp.String(), got, ok, err, rp)
+		}
+	}
+	for _, pf := range []config.PrefetcherKind{config.PrefetchTree, config.PrefetchNone, config.PrefetchSequential} {
+		got, err := ParsePrefetcher(pf.String())
+		if err != nil || got != pf {
+			t.Errorf("ParsePrefetcher(%q) = %v, %v; want %v", pf.String(), got, err, pf)
+		}
+	}
+}
+
+func TestParseComponentName(t *testing.T) {
+	names := []string{"threshold", "thrash-guard"}
+	if got, err := ParseComponentName("planner", "", names); got != "" || err != nil {
+		t.Errorf("empty name = %q, %v; want passthrough", got, err)
+	}
+	if got, err := ParseComponentName("planner", " Thrash-Guard ", names); got != "thrash-guard" || err != nil {
+		t.Errorf("case/space fold = %q, %v", got, err)
+	}
+	if _, err := ParseComponentName("planner", "bogus", names); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

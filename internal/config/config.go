@@ -6,6 +6,7 @@ package config
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"uvmsim/internal/memunits"
 )
@@ -103,6 +104,47 @@ func (p PrefetcherKind) String() string {
 	}
 }
 
+// PipelineSpec names the memory-management pipeline components of the
+// UVM driver by registry key (see internal/mm). Empty fields select the
+// built-in defaults derived from Policy, Replacement and Prefetcher, so
+// the zero value reproduces the monolithic driver's behaviour exactly.
+//
+// Names are resolved against the internal/mm registry when the driver
+// is constructed; config deliberately does not validate them (that
+// would invert the dependency between the registry and its key space).
+type PipelineSpec struct {
+	// Batcher selects the fault-batch formation stage
+	// (e.g. "accumulate", "dedup").
+	Batcher string
+	// Planner selects the migrate-vs-remote decision stage
+	// (e.g. "threshold", "thrash-guard").
+	Planner string
+	// Evictor selects the victim-selection stage (e.g. "lru", "lfu",
+	// "none"). Unlike Replacement, a named evictor survives
+	// Config.WithPolicy's paper pairing.
+	Evictor string
+	// Prefetcher selects the prefetch-governor stage
+	// (e.g. "tree", "none", "sequential").
+	Prefetcher string
+}
+
+// Tag renders the non-default components as a compact
+// "stage=name,stage=name" identity string, empty when every stage is
+// the default. Experiment run names embed it so cells running a custom
+// pipeline are distinguishable from stock cells.
+func (p PipelineSpec) Tag() string {
+	var parts []string
+	for _, kv := range [][2]string{
+		{"batcher", p.Batcher}, {"planner", p.Planner},
+		{"evictor", p.Evictor}, {"prefetcher", p.Prefetcher},
+	} {
+		if kv[1] != "" {
+			parts = append(parts, kv[0]+"="+kv[1])
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
 // Config mirrors Table I. All latencies are in GPU core cycles unless
 // stated otherwise.
 type Config struct {
@@ -158,6 +200,11 @@ type Config struct {
 	// host-resident page migrates it immediately regardless of counters.
 	// It is forced off under PolicyAdaptive (see DESIGN.md §2).
 	WriteMigrates bool
+
+	// MMPipeline optionally overrides the driver's memory-management
+	// pipeline stages by registry name. The zero value keeps the
+	// built-in stages selected by Policy/Replacement/Prefetcher.
+	MMPipeline PipelineSpec
 }
 
 // Default returns the boldface configuration of Table I: a Pascal-like

@@ -110,12 +110,30 @@ func Run(b *workloads.Built, cfg config.Config) *Result {
 	return New(b, cfg).Run()
 }
 
+// PrepareWorkload builds the named workload at the given scale and
+// derives the run configuration: the migration policy is applied (with
+// the paper's replacement-policy pairing) and device memory is sized so
+// that a 1/shares share of the working set is oversubPercent of
+// capacity (100 = fits exactly). shares is 1 for single-GPU runs; the
+// multi-GPU harness passes the cluster size so per-GPU oversubscription
+// pressure stays comparable across cluster sizes. This is the single
+// source of the workload-to-config plumbing shared by the single-GPU
+// and multi-GPU entry points.
+func PrepareWorkload(name string, scale float64, shares int, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) (*workloads.Built, config.Config) {
+	if shares < 1 {
+		panic(fmt.Sprintf("core: invalid share count %d", shares))
+	}
+	b := workloads.MustGet(name)(scale)
+	ws := b.WorkingSet() / uint64(shares)
+	cfg := base.WithPolicy(pol).WithOversubscription(ws, oversubPercent)
+	return b, cfg
+}
+
 // RunWorkload is the experiment-harness entry point: it builds the named
 // workload at the given scale, sizes device memory so the working set is
 // oversubPercent of capacity (100 = fits exactly), applies the migration
 // policy (with the paper's replacement-policy pairing), and runs.
 func RunWorkload(name string, scale float64, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) *Result {
-	b := workloads.MustGet(name)(scale)
-	cfg := base.WithPolicy(pol).WithOversubscription(b.WorkingSet(), oversubPercent)
+	b, cfg := PrepareWorkload(name, scale, 1, oversubPercent, pol, base)
 	return Run(b, cfg)
 }

@@ -6,7 +6,6 @@ import (
 	"uvmsim/internal/config"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
-	"uvmsim/internal/workloads"
 )
 
 // Observe attaches a run's observability instruments to the simulator:
@@ -104,8 +103,7 @@ func (s *Simulator) observeKernel(span KernelSpan) {
 // instruments observe the whole simulation and a final invariant check
 // fires after quiescence when checking is enabled.
 func RunWorkloadObs(name string, scale float64, oversubPercent uint64, pol config.MigrationPolicy, base config.Config, r *obs.Run) *Result {
-	b := workloads.MustGet(name)(scale)
-	cfg := base.WithPolicy(pol).WithOversubscription(b.WorkingSet(), oversubPercent)
+	b, cfg := PrepareWorkload(name, scale, 1, oversubPercent, pol, base)
 	s := New(b, cfg)
 	s.Observe(r)
 	return s.Run()

@@ -64,6 +64,11 @@ func (o Options) runtimeOf(name string, pct uint64, pol config.MigrationPolicy, 
 		if tag != "" {
 			runName += "/" + tag
 		}
+		// A non-default pipeline changes what the cell measures, so it
+		// is part of the cell's identity.
+		if ptag := base.MMPipeline.Tag(); ptag != "" {
+			runName += "/" + ptag
+		}
 		r = o.Observe(runName)
 	}
 	return core.RunWorkloadObs(name, o.Scale, pct, pol, base, r)
@@ -215,6 +220,17 @@ func Fig5(o Options) *report.Table {
 // table is runtime, the second is total pages thrashed, both normalized
 // to the Disabled baseline.
 func Fig6And7(o Options) (runtime, thrash *report.Table) {
+	runtime, thrash, _ = Fig6And7Cycles(o)
+	return runtime, thrash
+}
+
+// Fig6And7Cycles runs the Figure 6/7 sweep once and additionally
+// returns the simulated cycles summed over every cell. The sum is a
+// deterministic proxy for the sweep's total simulation work — unlike
+// wall-clock measurements it is identical across machines and runs —
+// which is what the bench-smoke drift check compares against the
+// committed baseline.
+func Fig6And7Cycles(o Options) (runtime, thrash *report.Table, simCycles uint64) {
 	o = o.withDefaults()
 	cols := []string{"Disabled", "Always", "Oversub", "Adaptive"}
 	runtime = &report.Table{
@@ -240,11 +256,12 @@ func Fig6And7(o Options) (runtime, thrash *report.Table) {
 		for c := range pols {
 			times[c] = report.Ratio(res[i][c].Runtime(), baseTime)
 			thrashes[c] = report.Ratio(res[i][c].Counters.ThrashedPages, baseThrash)
+			simCycles += res[i][c].Runtime()
 		}
 		runtime.Add(name, times[0], times[1], times[2], times[3])
 		thrash.Add(name, thrashes[0], thrashes[1], thrashes[2], thrashes[3])
 	}
-	return runtime, thrash
+	return runtime, thrash, simCycles
 }
 
 // Fig6 returns only the runtime table of the Fig6And7 sweep.

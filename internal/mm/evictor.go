@@ -1,0 +1,79 @@
+package mm
+
+import (
+	"uvmsim/internal/config"
+	"uvmsim/internal/evict"
+	"uvmsim/internal/memunits"
+)
+
+func init() {
+	RegisterEvictor("lru", func(cfg config.Config) (EvictionEngine, error) {
+		return newUnitEngine(config.ReplaceLRU, cfg), nil
+	})
+	RegisterEvictor("lfu", func(cfg config.Config) (EvictionEngine, error) {
+		return newUnitEngine(config.ReplaceLFU, cfg), nil
+	})
+	RegisterEvictor("none", func(config.Config) (EvictionEngine, error) {
+		return refusingEngine{}, nil
+	})
+}
+
+func newConfiguredEvictor(cfg config.Config) (EvictionEngine, error) {
+	return newUnitEngine(cfg.Replacement, cfg), nil
+}
+
+func newUnitEngine(kind config.ReplacementPolicy, cfg config.Config) *unitEngine {
+	return &unitEngine{
+		replace: evict.New(kind),
+		blocks:  cfg.EvictionGranularity == memunits.BlockSize,
+	}
+}
+
+// unitEngine is the default eviction engine: it runs the configured
+// replacement policy (LRU or counter-driven LFU) over the candidates of
+// the configured granularity, first under the strict pinning rules and,
+// only when nothing is eligible, under the relaxed rules that guarantee
+// forward progress.
+type unitEngine struct {
+	replace evict.Policy
+	blocks  bool
+}
+
+// Name returns the replacement policy name ("LRU", "LFU"); it keys the
+// per-policy selection metrics.
+func (e *unitEngine) Name() string { return e.replace.Name() }
+
+// EvictOne selects and evicts one unit: strict pass first, relaxed pass
+// as the forward-progress fallback.
+func (e *unitEngine) EvictOne(h EvictionHost) bool {
+	collect := h.ChunkCandidates
+	if e.blocks {
+		collect = h.BlockCandidates
+	}
+	strict := true
+	cands := collect(true)
+	idx, ok := e.replace.SelectVictim(cands)
+	if !ok {
+		strict = false
+		cands = collect(false)
+		idx, ok = e.replace.SelectVictim(cands)
+	}
+	if !ok {
+		return false
+	}
+	h.Evict(idx, strict)
+	return true
+}
+
+// refusingEngine never evicts: it models a driver without replacement,
+// where capacity misses past the first fill degrade to remote access
+// instead of recycling device memory. It doubles as the canonical
+// exercise of the driver's demotion fallback (a stalled migration with
+// nothing in flight is re-served remotely rather than hanging).
+type refusingEngine struct{}
+
+// Name identifies the engine.
+func (refusingEngine) Name() string { return "none" }
+
+// EvictOne always refuses.
+func (refusingEngine) EvictOne(EvictionHost) bool { return false }

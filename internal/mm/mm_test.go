@@ -1,0 +1,215 @@
+package mm
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/policy"
+)
+
+func TestDefaultsMatchConfiguration(t *testing.T) {
+	cfg := config.Default()
+	b, err := NewBatcher("", cfg)
+	if err != nil || b.Name() != "accumulate" {
+		t.Fatalf("default batcher = %v, %v; want accumulate", b, err)
+	}
+	p, err := NewPlanner("", cfg)
+	if err != nil || p.Name() != "threshold" {
+		t.Fatalf("default planner = %v, %v; want threshold", p, err)
+	}
+	for _, rp := range []config.ReplacementPolicy{config.ReplaceLRU, config.ReplaceLFU} {
+		cfg.Replacement = rp
+		e, err := NewEvictor("", cfg)
+		if err != nil || e.Name() != rp.String() {
+			t.Fatalf("default evictor under %v = %v, %v", rp, e, err)
+		}
+	}
+	g, err := NewPrefetchGovernor("", cfg)
+	if err != nil || g.Name() != "tree" {
+		t.Fatalf("default governor = %v, %v; want tree", g, err)
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	cfg := config.Default()
+	if _, err := NewPlanner("nope", cfg); err == nil || !strings.Contains(err.Error(), "unknown migration planner") {
+		t.Fatalf("NewPlanner(nope) err = %v", err)
+	}
+	if _, err := NewBatcher("nope", cfg); err == nil {
+		t.Fatal("NewBatcher(nope) succeeded")
+	}
+	if _, err := NewEvictor("nope", cfg); err == nil {
+		t.Fatal("NewEvictor(nope) succeeded")
+	}
+	if _, err := NewPrefetchGovernor("nope", cfg); err == nil {
+		t.Fatal("NewPrefetchGovernor(nope) succeeded")
+	}
+	// The error names the registered alternatives.
+	_, err := NewEvictor("mru", cfg)
+	for _, want := range EvictorNames() {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestNamesAreCaseInsensitiveAndTrimmed(t *testing.T) {
+	cfg := config.Default()
+	p, err := NewPlanner(" Thrash-Guard ", cfg)
+	if err != nil || p.Name() != "thrash-guard" {
+		t.Fatalf("NewPlanner(' Thrash-Guard ') = %v, %v", p, err)
+	}
+}
+
+func TestNameListsAreSorted(t *testing.T) {
+	for kind, names := range map[string][]string{
+		"batcher":    BatcherNames(),
+		"planner":    PlannerNames(),
+		"evictor":    EvictorNames(),
+		"prefetcher": PrefetchGovernorNames(),
+	} {
+		if len(names) == 0 {
+			t.Fatalf("no registered %ss", kind)
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Fatalf("%s names not sorted: %v", kind, names)
+		}
+	}
+}
+
+func TestBuildResolvesSpec(t *testing.T) {
+	cfg := config.Default()
+	cfg.MMPipeline = config.PipelineSpec{
+		Batcher:    "dedup",
+		Planner:    "thrash-guard",
+		Evictor:    "none",
+		Prefetcher: "sequential",
+	}
+	pipe, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pipe.Batcher.Name(); got != "dedup" {
+		t.Fatalf("batcher = %q", got)
+	}
+	if got := pipe.Planner.Name(); got != "thrash-guard" {
+		t.Fatalf("planner = %q", got)
+	}
+	if got := pipe.Evictor.Name(); got != "none" {
+		t.Fatalf("evictor = %q", got)
+	}
+	if got := pipe.Prefetch.Name(); got != "sequential" {
+		t.Fatalf("prefetcher = %q", got)
+	}
+
+	cfg.MMPipeline.Planner = "bogus"
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("Build with unknown planner succeeded")
+	}
+}
+
+func TestAccumBatcherRounds(t *testing.T) {
+	b, _ := NewBatcher("accumulate", config.Default())
+	if b.Open() {
+		t.Fatal("fresh batcher is open")
+	}
+	if !b.Add(3) {
+		t.Fatal("first Add did not open the round")
+	}
+	if b.Add(7) || b.Add(3) {
+		t.Fatal("later Adds re-opened the round")
+	}
+	if !b.Open() {
+		t.Fatal("batcher not open after Add")
+	}
+	got := b.Close()
+	want := []memunits.BlockNum{3, 7, 3}
+	if len(got) != len(want) {
+		t.Fatalf("batch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch = %v, want %v", got, want)
+		}
+	}
+	if b.Open() {
+		t.Fatal("batcher still open after Close")
+	}
+	if !b.Add(1) {
+		t.Fatal("Add after Close did not open a new round")
+	}
+}
+
+func TestDedupBatcherDropsDuplicates(t *testing.T) {
+	b, _ := NewBatcher("dedup", config.Default())
+	if !b.Add(3) {
+		t.Fatal("first Add did not open the round")
+	}
+	if b.Add(3) {
+		t.Fatal("duplicate Add reported a new round")
+	}
+	b.Add(7)
+	b.Add(7)
+	got := b.Close()
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("batch = %v, want [3 7]", got)
+	}
+	// The filter resets between rounds.
+	b.Add(3)
+	if got := b.Close(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("second round = %v, want [3]", got)
+	}
+}
+
+func TestThresholdPlannerWriteMigrates(t *testing.T) {
+	cfg := config.Default().WithPolicy(config.PolicyAlways)
+	cfg.WriteMigrates = true
+	cfg.StaticThreshold = 100 // only the write path can trigger below 100
+	p, _ := NewPlanner("threshold", cfg)
+	a := Access{Count: 1, Mem: policy.MemState{TotalPages: 100, AllocatedPages: 0}}
+	if p.ShouldMigrate(a) {
+		t.Fatal("read below threshold migrated")
+	}
+	a.Write = true
+	if !p.ShouldMigrate(a) {
+		t.Fatal("write did not migrate with WriteMigrates on")
+	}
+}
+
+func TestThrashGuardPinsChronicThrashers(t *testing.T) {
+	// The first-touch baseline migrates on every first access, so the
+	// only reason the guard returns false is the round-trip bound.
+	cfg := config.Default().WithPolicy(config.PolicyDisabled)
+	inner, _ := NewPlanner("threshold", cfg)
+	guard, _ := NewPlanner("thrash-guard", cfg)
+	a := Access{Count: 1, Mem: policy.MemState{TotalPages: 100}}
+	for r := uint64(0); r < ThrashGuardRoundTrips; r++ {
+		a.RoundTrips = r
+		if !guard.ShouldMigrate(a) {
+			t.Fatalf("guard refused below the bound (r=%d)", r)
+		}
+	}
+	a.RoundTrips = ThrashGuardRoundTrips
+	if guard.ShouldMigrate(a) {
+		t.Fatal("guard migrated at the bound")
+	}
+	if !inner.ShouldMigrate(a) {
+		t.Fatal("inner planner refused — the guard case proves nothing")
+	}
+}
+
+func TestKindGovernorCreatesConfiguredKind(t *testing.T) {
+	cfg := config.Default()
+	g, _ := NewPrefetchGovernor("none", cfg)
+	pf := g.NewChunk(32)
+	leaves := pf.OnFault(5)
+	if len(leaves) != 1 || leaves[0] != 5 {
+		t.Fatalf("none governor prefetched: %v", leaves)
+	}
+	if pf.Tree() == nil {
+		t.Fatal("chunk prefetcher has no tree")
+	}
+}

@@ -1,0 +1,36 @@
+package mm
+
+import (
+	"uvmsim/internal/config"
+	"uvmsim/internal/prefetch"
+)
+
+func init() {
+	for _, k := range []config.PrefetcherKind{
+		config.PrefetchTree, config.PrefetchNone, config.PrefetchSequential,
+	} {
+		kind := k
+		RegisterPrefetchGovernor(canon(kind.String()), func(config.Config) (PrefetchGovernor, error) {
+			return kindGovernor{kind: kind}, nil
+		})
+	}
+}
+
+func newConfiguredGovernor(cfg config.Config) (PrefetchGovernor, error) {
+	return kindGovernor{kind: cfg.Prefetcher}, nil
+}
+
+// kindGovernor adapts the built-in prefetcher kinds (tree, none,
+// sequential) to the PrefetchGovernor seam: each chunk gets a
+// prefetch.Chunk of the selected kind.
+type kindGovernor struct {
+	kind config.PrefetcherKind
+}
+
+// Name identifies the governor.
+func (g kindGovernor) Name() string { return canon(g.kind.String()) }
+
+// NewChunk returns per-chunk prefetch state of the configured kind.
+func (g kindGovernor) NewChunk(nBlocks int) ChunkPrefetcher {
+	return prefetch.NewChunk(g.kind, nBlocks)
+}

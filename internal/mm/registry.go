@@ -1,0 +1,118 @@
+package mm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"uvmsim/internal/config"
+)
+
+// Factory constructs one pipeline stage for a driver from its
+// configuration. Factories must return a fresh instance per call —
+// stateful stages (batchers) are never shared between drivers.
+type Factory[T any] func(cfg config.Config) (T, error)
+
+// registry is one name-keyed stage namespace.
+type registry[T any] struct {
+	kind      string
+	factories map[string]Factory[T]
+	// def builds the stage when no name is given: the built-in
+	// behaviour derived from the enum fields of the configuration.
+	def Factory[T]
+}
+
+func (r *registry[T]) register(name string, f Factory[T]) {
+	name = canon(name)
+	if name == "" {
+		panic(fmt.Sprintf("mm: empty %s name", r.kind))
+	}
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("mm: duplicate %s %q", r.kind, name))
+	}
+	if r.factories == nil {
+		r.factories = make(map[string]Factory[T])
+	}
+	r.factories[name] = f
+}
+
+func (r *registry[T]) build(name string, cfg config.Config) (T, error) {
+	name = canon(name)
+	if name == "" {
+		return r.def(cfg)
+	}
+	f, ok := r.factories[name]
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("mm: unknown %s %q (want one of %s)",
+			r.kind, name, strings.Join(r.names(), ", "))
+	}
+	return f(cfg)
+}
+
+func (r *registry[T]) names() []string {
+	out := make([]string, 0, len(r.factories))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// canon normalizes a registry key: lower-case, trimmed.
+func canon(name string) string { return strings.ToLower(strings.TrimSpace(name)) }
+
+var (
+	batchers   = &registry[FaultBatcher]{kind: "fault batcher", def: newAccumBatcher}
+	planners   = &registry[MigrationPlanner]{kind: "migration planner", def: newThresholdPlanner}
+	evictors   = &registry[EvictionEngine]{kind: "eviction engine", def: newConfiguredEvictor}
+	prefetches = &registry[PrefetchGovernor]{kind: "prefetch governor", def: newConfiguredGovernor}
+)
+
+// RegisterBatcher adds a FaultBatcher factory under name. Panics on
+// duplicates; call from package init.
+func RegisterBatcher(name string, f Factory[FaultBatcher]) { batchers.register(name, f) }
+
+// RegisterPlanner adds a MigrationPlanner factory under name.
+func RegisterPlanner(name string, f Factory[MigrationPlanner]) { planners.register(name, f) }
+
+// RegisterEvictor adds an EvictionEngine factory under name.
+func RegisterEvictor(name string, f Factory[EvictionEngine]) { evictors.register(name, f) }
+
+// RegisterPrefetchGovernor adds a PrefetchGovernor factory under name.
+func RegisterPrefetchGovernor(name string, f Factory[PrefetchGovernor]) {
+	prefetches.register(name, f)
+}
+
+// NewBatcher builds the named FaultBatcher ("" = default).
+func NewBatcher(name string, cfg config.Config) (FaultBatcher, error) {
+	return batchers.build(name, cfg)
+}
+
+// NewPlanner builds the named MigrationPlanner ("" = default).
+func NewPlanner(name string, cfg config.Config) (MigrationPlanner, error) {
+	return planners.build(name, cfg)
+}
+
+// NewEvictor builds the named EvictionEngine ("" = default).
+func NewEvictor(name string, cfg config.Config) (EvictionEngine, error) {
+	return evictors.build(name, cfg)
+}
+
+// NewPrefetchGovernor builds the named PrefetchGovernor ("" = default).
+func NewPrefetchGovernor(name string, cfg config.Config) (PrefetchGovernor, error) {
+	return prefetches.build(name, cfg)
+}
+
+// BatcherNames lists the registered FaultBatcher names, sorted.
+func BatcherNames() []string { return batchers.names() }
+
+// PlannerNames lists the registered MigrationPlanner names, sorted.
+func PlannerNames() []string { return planners.names() }
+
+// EvictorNames lists the registered EvictionEngine names, sorted.
+func EvictorNames() []string { return evictors.names() }
+
+// PrefetchGovernorNames lists the registered PrefetchGovernor names,
+// sorted.
+func PrefetchGovernorNames() []string { return prefetches.names() }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"uvmsim/internal/config"
+	"uvmsim/internal/core"
 	"uvmsim/internal/gpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
@@ -205,8 +206,6 @@ func (c *Cluster) Run() *Result {
 // roughly workingSet/nGPUs, so oversubscription pressure per GPU stays
 // comparable across cluster sizes.
 func RunWorkload(name string, scale float64, nGPUs int, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) *Result {
-	b := workloads.MustGet(name)(scale)
-	share := b.WorkingSet() / uint64(nGPUs)
-	cfg := base.WithPolicy(pol).WithOversubscription(share, oversubPercent)
+	b, cfg := core.PrepareWorkload(name, scale, nGPUs, oversubPercent, pol, base)
 	return New(b, cfg, nGPUs).Run()
 }

@@ -17,6 +17,11 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"nsPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
 	BytesPerOp  int64   `json:"bytesPerOp"`
+	// SimCycles is the deterministic simulated-cycle total of the
+	// benchmark's sweep (0 when the benchmark does not simulate, e.g.
+	// the engine microbenchmarks). Unlike the wall-clock fields it is
+	// machine-independent, so drift checks compare it exactly.
+	SimCycles uint64 `json:"simCycles,omitempty"`
 }
 
 // BenchSuite is an archived set of benchmark measurements — the perf
@@ -24,11 +29,15 @@ type BenchResult struct {
 // (Go version, host parallelism, workload scale) to judge whether two
 // measurements are comparable before comparing them.
 type BenchSuite struct {
-	Version    int           `json:"version"`
-	GoVersion  string        `json:"goVersion"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Scale      float64       `json:"scale"`
-	Results    []BenchResult `json:"results"`
+	Version    int    `json:"version"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	// Workloads is the sweep's workload subset (empty = the full paper
+	// suite); simulated-cycle totals are only comparable between suites
+	// measured over the same subset.
+	Workloads []string      `json:"workloads,omitempty"`
+	Results   []BenchResult `json:"results"`
 }
 
 // WriteBenchSuite emits the suite as indented JSON.

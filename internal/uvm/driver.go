@@ -9,6 +9,18 @@
 // memory transactions from the GPU model and turns them into near
 // accesses, remote accesses, or far-faults with migrations and evictions.
 //
+// Every policy decision is delegated to a staged pipeline of narrow
+// interfaces (internal/mm): the MigrationPlanner decides migrate versus
+// remote, the FaultBatcher forms fault batches, the PrefetchGovernor
+// groups neighbour blocks into migrations, and the EvictionEngine picks
+// victims under capacity pressure through the EvictionHost view
+// implemented in evictionhost.go. The Driver itself owns only
+// page-table state (block/chunk slots, the GMMU TLB, access counters)
+// and event sequencing (batch close, migration dispatch and landing,
+// the capacity-wait queue). Alternative heuristics plug in by registry
+// name via config.PipelineSpec, or programmatically via
+// NewWithPipeline, without touching this file.
+//
 // The per-block and per-chunk state lives in dense slices indexed by
 // block/chunk number rather than maps: the managed address space starts
 // at the first chunk boundary and stays small and contiguous, so direct
@@ -27,9 +39,9 @@ import (
 	"uvmsim/internal/evict"
 	"uvmsim/internal/interconnect"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/policy"
-	"uvmsim/internal/prefetch"
 	"uvmsim/internal/sim"
 	"uvmsim/internal/stats"
 )
@@ -90,7 +102,7 @@ type blockState struct {
 // chunkState tracks one 2MB chunk slot of a managed allocation.
 type chunkState struct {
 	info alloc.ChunkInfo
-	pf   *prefetch.Chunk
+	pf   mm.ChunkPrefetcher
 	// residentBlocks counts blocks currently resident.
 	residentBlocks int
 	// queuedBlocks counts blocks in enqueued-but-undispatched
@@ -114,17 +126,26 @@ type migration struct {
 	dispatchedAt sim.Cycle
 }
 
-// Driver is the UVM driver model.
+// Driver is the UVM driver model: page-table state, event sequencing,
+// and the composed memory-management pipeline.
 type Driver struct {
-	eng     *sim.Engine
-	cfg     config.Config
-	space   *alloc.Space
-	mem     *devmem.Memory
-	link    *interconnect.Link
-	decider *policy.Decider
-	replace evict.Policy
-	ctrs    *counters.File
-	st      stats.Counters
+	eng   *sim.Engine
+	cfg   config.Config
+	space *alloc.Space
+	mem   *devmem.Memory
+	link  *interconnect.Link
+	ctrs  *counters.File
+	st    stats.Counters
+
+	// The memory-management pipeline stages (see internal/mm). Each is
+	// owned exclusively by this driver.
+	batcher mm.FaultBatcher
+	planner mm.MigrationPlanner
+	evictor mm.EvictionEngine
+	pfgov   mm.PrefetchGovernor
+	// ehost is the EvictionHost view handed to the eviction engine; it
+	// lives on the driver so victim selection allocates nothing.
+	ehost evictionHost
 
 	// blockArr is indexed by global block number; entries are values, so
 	// a *blockState from block/blockAt must never be held across another
@@ -134,13 +155,6 @@ type Driver struct {
 	blockArr []blockState
 	chunkArr []*chunkState
 
-	// batch accumulates fault entries for the next processing round;
-	// batchScheduled is true while a round is pending. The spare buffer
-	// is swapped in when a round closes so batch never reallocates in
-	// steady state.
-	batch          []memunits.BlockNum
-	batchSpare     []memunits.BlockNum
-	batchScheduled bool
 	processBatchFn sim.Event
 
 	// waiting is the FIFO of migrations blocked on device capacity,
@@ -149,13 +163,23 @@ type Driver struct {
 	waitHead int
 	drainFn  func()
 
+	// inFlightTotal counts blocks on the wire across all chunks;
+	// wbInFlight counts outstanding dirty write-back transfers. Together
+	// they tell drainWaiting whether a stalled migration will ever be
+	// retried by a completion event — when both are zero and eviction
+	// refuses, the head migration is demoted to remote access instead
+	// of hanging the run.
+	inFlightTotal int
+	wbInFlight    int
+
 	// Free lists recycling the two per-migration allocations of the
 	// fault path: block lists (migration.blocks) and waiter lists
 	// (blockState.waiters).
 	blockListFree [][]memunits.BlockNum
 	waiterFree    [][]func()
 
-	// Eviction-path scratch, reused across victim selections.
+	// Eviction-path scratch, reused across victim selections (see
+	// evictionhost.go).
 	candScratch  []evict.Candidate
 	chunkScratch []*chunkState
 	numScratch   []memunits.BlockNum
@@ -173,26 +197,76 @@ type Driver struct {
 	finalized bool
 }
 
-// New creates a driver for the given configuration and address space.
+// New creates a driver for the given configuration and address space,
+// resolving the memory-management pipeline from cfg.MMPipeline (empty
+// spec = the built-in stages).
 func New(eng *sim.Engine, cfg config.Config, space *alloc.Space) *Driver {
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("uvm: %v", err))
 	}
+	pipe, err := mm.Build(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("uvm: %v", err))
+	}
+	return NewWithPipeline(eng, cfg, space, pipe)
+}
+
+// NewWithPipeline creates a driver composed of the given pipeline
+// stages. Nil stages fall back to the built-ins derived from cfg. The
+// stages become owned by this driver: stateful stages (FaultBatcher)
+// must not be shared with another driver.
+func NewWithPipeline(eng *sim.Engine, cfg config.Config, space *alloc.Space, pipe mm.Pipeline) *Driver {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("uvm: %v", err))
+	}
+	fillDefaults(&pipe, cfg)
 	d := &Driver{
 		eng:          eng,
 		cfg:          cfg,
 		space:        space,
 		mem:          devmem.New(cfg.DeviceMemBytes),
 		link:         interconnect.New(eng, cfg.PCIeBytesPerCycle, cfg.PCIeLatency, cfg.PCIeHeaderBytes, cfg.RemoteWirePenalty),
-		decider:      policy.NewDecider(cfg),
-		replace:      evict.New(cfg.Replacement),
+		batcher:      pipe.Batcher,
+		planner:      pipe.Planner,
+		evictor:      pipe.Evictor,
+		pfgov:        pipe.Prefetch,
 		ctrs:         counters.New(),
 		faultLatency: cfg.FarFaultLatencyCycles(),
 		gmmuTLB:      newTLB(cfg.TLBEntries),
 	}
+	d.ehost.d = d
 	d.processBatchFn = d.processBatch
-	d.drainFn = d.drainWaiting
+	d.drainFn = func() {
+		d.wbInFlight--
+		d.drainWaiting()
+	}
 	return d
+}
+
+// fillDefaults replaces nil pipeline stages with the built-ins the
+// configuration selects.
+func fillDefaults(pipe *mm.Pipeline, cfg config.Config) {
+	var err error
+	if pipe.Batcher == nil {
+		if pipe.Batcher, err = mm.NewBatcher("", cfg); err != nil {
+			panic(fmt.Sprintf("uvm: %v", err))
+		}
+	}
+	if pipe.Planner == nil {
+		if pipe.Planner, err = mm.NewPlanner("", cfg); err != nil {
+			panic(fmt.Sprintf("uvm: %v", err))
+		}
+	}
+	if pipe.Evictor == nil {
+		if pipe.Evictor, err = mm.NewEvictor("", cfg); err != nil {
+			panic(fmt.Sprintf("uvm: %v", err))
+		}
+	}
+	if pipe.Prefetch == nil {
+		if pipe.Prefetch, err = mm.NewPrefetchGovernor("", cfg); err != nil {
+			panic(fmt.Sprintf("uvm: %v", err))
+		}
+	}
 }
 
 // translate performs the GMMU TLB lookup for the page containing addr
@@ -222,6 +296,12 @@ func (d *Driver) Memory() *devmem.Memory { return d.mem }
 // Link exposes the interconnect model.
 func (d *Driver) Link() *interconnect.Link { return d.link }
 
+// Pipeline returns the composed memory-management stages (for
+// introspection and tests; the stages remain owned by the driver).
+func (d *Driver) Pipeline() mm.Pipeline {
+	return mm.Pipeline{Batcher: d.batcher, Planner: d.planner, Evictor: d.evictor, Prefetch: d.pfgov}
+}
+
 // Finalize folds interconnect statistics into the counters. Idempotent.
 func (d *Driver) Finalize() {
 	if d.finalized {
@@ -235,7 +315,7 @@ func (d *Driver) Finalize() {
 // PendingWork reports whether any migrations are queued or in flight —
 // used by integration tests to assert clean quiescence.
 func (d *Driver) PendingWork() bool {
-	if len(d.waiting) > d.waitHead || d.batchScheduled {
+	if len(d.waiting) > d.waitHead || d.batcher.Open() {
 		return true
 	}
 	for _, cs := range d.chunkArr {
@@ -279,7 +359,7 @@ func (d *Driver) chunk(c memunits.ChunkNum) *chunkState {
 	if !ok {
 		panic(fmt.Sprintf("uvm: access to unallocated chunk %d", c))
 	}
-	cs := &chunkState{info: info, pf: prefetch.NewChunk(d.cfg.Prefetcher, int(info.Blocks()))}
+	cs := &chunkState{info: info, pf: d.pfgov.NewChunk(int(info.Blocks()))}
 	if c >= memunits.ChunkNum(len(d.chunkArr)) {
 		n := uint64(c) + 1
 		if m := uint64(2 * len(d.chunkArr)); m > n {
@@ -374,9 +454,9 @@ func (d *Driver) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool)
 }
 
 // Access serves one 128B-sector transaction asynchronously; done fires
-// when the data is available to the SM. Residency, policy thresholds and
-// fault batching decide whether this becomes a near access, a remote
-// zero-copy access, or a far-fault.
+// when the data is available to the SM. Residency, the migration
+// planner and fault batching decide whether this becomes a near access,
+// a remote zero-copy access, or a far-fault.
 func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 	if done == nil {
 		panic("uvm: nil completion callback")
@@ -425,9 +505,13 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 		// Soft pin: Volta semantics regardless of the global policy.
 		migrate = write || count >= d.cfg.StaticThreshold
 	default:
-		ms := d.memState()
-		r := d.ctrs.RoundTrips(uint64(b))
-		migrate = (write && d.cfg.WriteMigrates) || d.decider.ShouldMigrate(count, ms, r)
+		migrate = d.planner.ShouldMigrate(mm.Access{
+			Block:      b,
+			Write:      write,
+			Count:      count,
+			RoundTrips: d.ctrs.RoundTrips(uint64(b)),
+			Mem:        d.memState(),
+		})
 	}
 	if !migrate {
 		d.remoteAccess(addr, write, walk, done)
@@ -458,9 +542,10 @@ func (d *Driver) remoteAccess(addr memunits.Addr, write bool, walk sim.Cycle, do
 	d.eng.At(finish+walk+sim.Cycle(d.cfg.RemoteAccessLatency), done)
 }
 
-// raiseFault registers a far-fault for block b and opens a fault batch if
-// none is pending. The batch is processed after the fault handling
-// latency, modelling the driver walking the fault buffer.
+// raiseFault registers a far-fault for block b and adds it to the fault
+// batcher, scheduling a processing round when this fault opened a new
+// batch. The batch is processed after the fault handling latency,
+// modelling the driver walking the fault buffer.
 func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
 	bs := d.block(b)
 	bs.pending = true
@@ -472,23 +557,20 @@ func (d *Driver) raiseFault(b memunits.BlockNum, write bool, done func()) {
 	}
 	bs.waiters = append(bs.waiters, done)
 	d.st.FarFaults++
-	if !d.batchScheduled {
-		d.batchScheduled = true
+	if d.batcher.Add(b) {
 		d.st.FaultBatches++
 		if d.o != nil {
 			d.o.batchOpenedAt = d.eng.Now()
 		}
 		d.eng.After(d.faultLatency, d.processBatchFn)
 	}
-	d.batch = append(d.batch, b)
 }
 
-// processBatch runs the migration heuristic for every fault accumulated
-// in the closing batch.
+// processBatch closes the fault batch and runs the prefetch governor
+// over every fault accumulated in it, queueing one migration per
+// faulting chunk neighbourhood.
 func (d *Driver) processBatch() {
-	batch := d.batch
-	d.batch, d.batchSpare = d.batchSpare[:0], batch
-	d.batchScheduled = false
+	batch := d.batcher.Close()
 	if o := d.o; o != nil {
 		o.batchSize.Observe(uint64(len(batch)))
 		o.tr.Emit(obs.Span{
@@ -512,7 +594,7 @@ func (d *Driver) processBatch() {
 			blk := first + memunits.BlockNum(uint64(leaf))
 			ebs := d.block(blk)
 			if ebs.resident || ebs.scheduled {
-				// The tree can re-report blocks that are already being
+				// The governor can re-report blocks that are already being
 				// handled; skip them.
 				continue
 			}
@@ -538,8 +620,11 @@ func (d *Driver) processBatch() {
 }
 
 // drainWaiting dispatches queued migrations in FIFO order, evicting as
-// needed. It stops when the head migration cannot obtain capacity even
-// after eviction (it will be retried when in-flight work completes).
+// needed. When the head migration cannot obtain capacity even after
+// eviction it is retried on the next completion event — or, when no
+// completion event is outstanding (the eviction engine refused with
+// nothing in flight), demoted to remote access so the run degrades
+// instead of hanging.
 func (d *Driver) drainWaiting() {
 	for d.waitHead < len(d.waiting) {
 		m := d.waiting[d.waitHead]
@@ -550,12 +635,20 @@ func (d *Driver) drainWaiting() {
 		stuck := false
 		for !d.mem.CanAllocate(need) {
 			if !d.evictOne(m.cs) {
-				stuck = true // retried on the next completion event
+				stuck = true
 				break
 			}
 		}
 		if stuck {
-			break
+			if d.inFlightTotal > 0 || d.wbInFlight > 0 {
+				break // retried when the in-flight work completes
+			}
+			// Nothing in flight will ever retry this migration: demote
+			// it to remote access and keep draining.
+			d.waiting[d.waitHead] = migration{}
+			d.waitHead++
+			d.demoteMigration(m)
+			continue
 		}
 		d.waiting[d.waitHead] = migration{}
 		d.waitHead++
@@ -593,6 +686,7 @@ func (d *Driver) dispatch(m migration) {
 	}
 	m.cs.queuedBlocks -= len(m.blocks)
 	m.cs.inFlightBlocks += len(m.blocks)
+	d.inFlightTotal += len(m.blocks)
 	if o != nil {
 		o.dmaBlocks.Observe(uint64(len(m.blocks)))
 	}
@@ -621,6 +715,7 @@ func (d *Driver) landMigration(m migration) {
 		d.putWaiterList(waiters)
 	}
 	m.cs.inFlightBlocks -= len(m.blocks)
+	d.inFlightTotal -= len(m.blocks)
 	m.cs.residentBlocks += len(m.blocks)
 	m.cs.lastAccess = now
 	if o := d.o; o != nil {
@@ -634,209 +729,39 @@ func (d *Driver) landMigration(m migration) {
 	d.drainWaiting()
 }
 
-// evictOne frees one eviction unit. dest is the chunk currently being
-// migrated into; it is never victimized. Returns false when no victim is
-// available right now.
-func (d *Driver) evictOne(dest *chunkState) bool {
-	d.mem.NoteOversubscribed()
-	if d.cfg.EvictionGranularity == memunits.BlockSize {
-		return d.evictBlockGranularity(dest)
-	}
-	return d.evictChunkGranularity(dest)
-}
-
-// evictChunkGranularity implements 2MB-granularity replacement.
-func (d *Driver) evictChunkGranularity(dest *chunkState) bool {
-	victim := d.selectChunkVictim(dest, true)
-	if victim == nil {
-		// Relaxed pass: allow chunks pinned only by queued (not
-		// in-flight) migrations, to guarantee forward progress when the
-		// FIFO head blocks everything.
-		victim = d.selectChunkVictim(dest, false)
-	}
-	if victim == nil {
-		return false
-	}
-	d.evictChunk(victim)
-	return true
-}
-
-func (d *Driver) selectChunkVictim(dest *chunkState, strict bool) *chunkState {
-	// Index-order iteration keeps the candidate list sorted by unit
-	// number, which is what victim selection's determinism relies on.
-	cands := d.candScratch[:0]
-	states := d.chunkScratch[:0]
-	now := d.eng.Now()
-	for num, cs := range d.chunkArr {
-		if cs == nil || cs.residentBlocks == 0 || cs == dest {
-			continue
+// demoteMigration unwinds a migration that can never obtain device
+// capacity (the eviction engine refused with no completion event
+// outstanding) and re-serves its merged accesses as remote zero-copy
+// transactions. The merge does not retain per-waiter direction, so a
+// block that observed any write re-serves all of its waiters as remote
+// writes; read-only blocks re-serve as remote reads.
+//
+// This path is unreachable under the built-in eviction engines — their
+// relaxed selection pass only refuses when blocks are on the wire, and
+// on-the-wire blocks schedule the retry — so stock configurations are
+// unaffected. It exists so that partial pipelines (a refusing or
+// overly conservative EvictionEngine) degrade to remote access instead
+// of deadlocking the simulation.
+func (d *Driver) demoteMigration(m migration) {
+	m.cs.queuedBlocks -= len(m.blocks)
+	first := m.cs.info.FirstBlock()
+	tree := m.cs.pf.Tree()
+	for _, b := range m.blocks {
+		bs := d.block(b)
+		bs.pending = false
+		bs.scheduled = false
+		write := bs.pendingDirty
+		bs.pendingDirty = false
+		tree.MarkEmpty(int(b - first))
+		waiters := bs.waiters
+		bs.waiters = nil
+		addr := memunits.BlockAddr(b)
+		for _, w := range waiters {
+			d.remoteAccess(addr, write, 0, w)
 		}
-		pinned := cs.inFlightBlocks > 0
-		if strict {
-			// Freshly landed or recently touched chunks are protected in
-			// the strict pass: their counters have not caught up yet and
-			// evicting them re-faults the active working set (LFU
-			// cold-start). The relaxed pass ignores the guard.
-			recent := d.cfg.EvictionRecencyGuard > 0 &&
-				now-cs.lastAccess < d.cfg.EvictionRecencyGuard
-			pinned = cs.pinnedStandard() || recent
-		}
-		first := cs.info.FirstBlock()
-		n := cs.info.Blocks()
-		cands = append(cands, evict.Candidate{
-			Unit:       uint64(num),
-			LastAccess: cs.lastAccess,
-			Score:      d.ctrs.SumCounts(uint64(first), n),
-			Dirty:      d.chunkDirty(cs),
-			Full:       cs.pf.Tree().Full(),
-			Pinned:     pinned,
-		})
-		states = append(states, cs)
+		d.putWaiterList(waiters)
 	}
-	d.candScratch, d.chunkScratch = cands, states
-	idx, ok := d.replace.SelectVictim(cands)
-	if !ok {
-		return nil
-	}
-	d.noteVictim(cands[idx], strict)
-	return states[idx]
-}
-
-func (d *Driver) chunkDirty(cs *chunkState) bool {
-	first := cs.info.FirstBlock()
-	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
-		if bs := d.blockAt(b); bs != nil && bs.resident && bs.dirty {
-			return true
-		}
-	}
-	return false
-}
-
-// evictChunk evicts every resident block of the chunk, writing dirty
-// data back over the device-to-host channel.
-func (d *Driver) evictChunk(cs *chunkState) {
-	first := cs.info.FirstBlock()
-	var evictedBlocks, dirtyBlocks uint64
-	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
-		bs := d.blockAt(b)
-		if bs == nil || !bs.resident {
-			continue
-		}
-		bs.resident = false
-		d.ctrs.NoteEviction(uint64(b))
-		bs.everEvicted = true
-		evictedBlocks++
-		if bs.dirty {
-			dirtyBlocks++
-			bs.dirty = false
-		}
-		d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
-	}
-	if evictedBlocks == 0 {
-		panic("uvm: evicting chunk with no resident blocks")
-	}
-	cs.residentBlocks = 0
-	// Rebuild tree occupancy: only pending (queued/in-flight) blocks
-	// remain claimed.
-	tree := cs.pf.Tree()
-	tree.Clear()
-	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
-		if bs := d.blockAt(b); bs != nil && bs.pending {
-			tree.MarkOccupied(int(b - first))
-		}
-	}
-	if o := d.o; o != nil {
-		o.victimTrips.Observe(d.ctrs.MaxRoundTrips(uint64(first), uint64(cs.info.Blocks())))
-		o.tr.Emit(obs.Span{
-			Name: "evict_chunk", Cat: "evict", TID: obs.TrackEvict,
-			Start: uint64(d.eng.Now()), Value: evictedBlocks,
-		})
-	}
-	d.finishEviction(evictedBlocks, dirtyBlocks)
-}
-
-// evictBlockGranularity implements the 64KB-granularity ablation.
-func (d *Driver) evictBlockGranularity(dest *chunkState) bool {
-	now := d.eng.Now()
-	collect := func(strict bool) []evict.Candidate {
-		cands := d.candScratch[:0]
-		nums := d.numScratch[:0]
-		owners := d.ownerScratch[:0]
-		// Chunk-index order implies ascending block numbers: a chunk's
-		// blocks are contiguous, so the candidate list comes out sorted
-		// by unit without any extra work.
-		for _, cs := range d.chunkArr {
-			if cs == nil || cs.residentBlocks == 0 || cs == dest {
-				continue
-			}
-			first := cs.info.FirstBlock()
-			for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
-				bs := d.blockAt(b)
-				if bs == nil || !bs.resident {
-					continue
-				}
-				recent := strict && d.cfg.EvictionRecencyGuard > 0 &&
-					now-bs.lastAccess < d.cfg.EvictionRecencyGuard
-				cands = append(cands, evict.Candidate{
-					Unit:       uint64(b),
-					LastAccess: bs.lastAccess,
-					Score:      d.ctrs.Count(uint64(b)),
-					Dirty:      bs.dirty,
-					Full:       true,
-					Pinned:     recent,
-				})
-				nums = append(nums, b)
-				owners = append(owners, cs)
-			}
-		}
-		d.candScratch, d.numScratch, d.ownerScratch = cands, nums, owners
-		return cands
-	}
-	strict := true
-	cands := collect(true)
-	idx, ok := d.replace.SelectVictim(cands)
-	if !ok {
-		strict = false
-		cands = collect(false)
-		idx, ok = d.replace.SelectVictim(cands)
-	}
-	if !ok {
-		return false
-	}
-	d.noteVictim(cands[idx], strict)
-	b, cs := d.numScratch[idx], d.ownerScratch[idx]
-	bs := d.blockAt(b)
-	bs.resident = false
-	d.ctrs.NoteEviction(uint64(b))
-	bs.everEvicted = true
-	d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
-	dirty := uint64(0)
-	if bs.dirty {
-		dirty = 1
-		bs.dirty = false
-	}
-	cs.residentBlocks--
-	cs.pf.Tree().MarkEmpty(int(b - cs.info.FirstBlock()))
-	if o := d.o; o != nil {
-		o.victimTrips.Observe(d.ctrs.RoundTrips(uint64(b)))
-		o.tr.Emit(obs.Span{
-			Name: "evict_block", Cat: "evict", TID: obs.TrackEvict,
-			Start: uint64(d.eng.Now()), Value: 1,
-		})
-	}
-	d.finishEviction(1, dirty)
-	return true
-}
-
-// finishEviction accounts for evicted blocks and schedules the dirty
-// write-back on the device-to-host channel.
-func (d *Driver) finishEviction(evictedBlocks, dirtyBlocks uint64) {
-	d.st.EvictedPages += evictedBlocks * memunits.PagesPerBlock
-	d.mem.Release(evictedBlocks * memunits.PagesPerBlock)
-	if dirtyBlocks > 0 {
-		d.st.WrittenBackPages += dirtyBlocks * memunits.PagesPerBlock
-		d.link.Transfer(interconnect.DeviceToHost, dirtyBlocks*memunits.BlockSize, d.drainFn)
-	}
+	d.putBlockList(m.blocks)
 }
 
 // ResidentPages returns the number of device-resident pages (for

@@ -47,7 +47,7 @@ func (d *Driver) SetObs(r *obs.Run) {
 	}
 	o := &driverObs{tr: r.Tr, check: r.CheckEvery > 0}
 	if r.Reg != nil {
-		pol := d.replace.Name()
+		pol := d.evictor.Name()
 		o.selStrict = r.Reg.Counter("uvm.evict.selections." + pol + ".strict")
 		o.selRelaxed = r.Reg.Counter("uvm.evict.selections." + pol + ".relaxed")
 		o.thrashEvents = r.Reg.Counter("uvm.thrash.block_remigrations")
@@ -123,8 +123,8 @@ func (d *Driver) noteVictim(cand evict.Candidate, strict bool) {
 		panic(&obs.Violation{
 			Cycle: uint64(d.eng.Now()),
 			Check: "no-pinned-victim",
-			Err: fmt.Errorf("replacement policy %s selected pinned unit %d (strict=%v)",
-				d.replace.Name(), cand.Unit, strict),
+			Err: fmt.Errorf("eviction engine %s selected pinned unit %d (strict=%v)",
+				d.evictor.Name(), cand.Unit, strict),
 		})
 	}
 }

@@ -1,0 +1,247 @@
+package uvm
+
+import (
+	"testing"
+
+	"uvmsim/internal/alloc"
+	"uvmsim/internal/config"
+	"uvmsim/internal/memunits"
+	"uvmsim/internal/mm"
+	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
+)
+
+// newPipelineRig is newRig with explicit pipeline stages (nil stages
+// fall back to the configured defaults) — the mock seam of the contract
+// tests.
+func newPipelineRig(t *testing.T, mut func(*config.Config), allocBytes uint64, pipe mm.Pipeline) *testRig {
+	t.Helper()
+	cfg := config.Default()
+	cfg.DeviceMemBytes = 8 << 20 // 4 chunks by default
+	if mut != nil {
+		mut(&cfg)
+	}
+	eng := sim.NewEngine()
+	eng.SetEventBudget(50_000_000)
+	space := alloc.NewSpace()
+	a := space.Alloc("data", allocBytes, false)
+	return &testRig{eng: eng, d: NewWithPipeline(eng, cfg, space, pipe), space: space, a: a}
+}
+
+// touchAll issues one synchronous read to the first sector of every
+// block of the rig's allocation and asserts each one completes.
+func touchAll(t *testing.T, r *testRig) int {
+	t.Helper()
+	n := 0
+	for off := uint64(0); off < r.a.Size; off += memunits.BlockSize {
+		r.syncAccess(t, r.a.Base+memunits.Addr(off), false)
+		n++
+	}
+	return n
+}
+
+// refusingEvictor is a mock EvictionEngine that never frees memory.
+type refusingEvictor struct{ calls int }
+
+func (e *refusingEvictor) Name() string                  { return "refusing-mock" }
+func (e *refusingEvictor) EvictOne(mm.EvictionHost) bool { e.calls++; return false }
+
+// The central EvictionEngine contract: an engine that refuses to evict
+// must degrade stalled migrations to remote accesses — every access
+// completes, the driver quiesces (PendingWork false), and the refusal
+// surfaces in the remote-access counters rather than as a hang.
+func TestRefusingEvictionEngineDegradesToRemote(t *testing.T) {
+	ev := &refusingEvictor{}
+	// 2 chunks of device memory, an 8-chunk allocation: most blocks can
+	// never obtain capacity once the first two chunks fill.
+	r := newPipelineRig(t, func(cfg *config.Config) {
+		cfg.DeviceMemBytes = 2 * memunits.ChunkSize
+	}, 8*memunits.ChunkSize, mm.Pipeline{Evictor: ev})
+
+	touchAll(t, r)
+
+	if r.d.PendingWork() {
+		t.Fatal("driver did not quiesce with a refusing eviction engine")
+	}
+	st := r.d.Stats()
+	if st.RemoteReads == 0 {
+		t.Fatal("no access degraded to remote")
+	}
+	if st.MigratedPages == 0 {
+		t.Fatal("nothing migrated before memory filled — the refusal path was never under pressure")
+	}
+	if st.EvictedPages != 0 {
+		t.Fatalf("refusing engine evicted %d pages", st.EvictedPages)
+	}
+	if ev.calls == 0 {
+		t.Fatal("eviction engine was never consulted")
+	}
+	if err := r.d.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent state after demotion: %v", err)
+	}
+	// The driver must remain usable: resident blocks still serve near.
+	if _, ok := r.d.TryFastAccess(r.a.Base, false); !ok {
+		t.Fatal("resident block lost after demotions")
+	}
+}
+
+// The registry route to the same contract: the "none" engine selected
+// purely by configuration string, without touching driver construction.
+func TestRefusingEvictorByNameDegradesToRemote(t *testing.T) {
+	r := newRigWithSpec(t, config.PipelineSpec{Evictor: "none"})
+	touchAll(t, r)
+	if r.d.PendingWork() {
+		t.Fatal("driver did not quiesce")
+	}
+	if st := r.d.Stats(); st.RemoteReads == 0 || st.EvictedPages != 0 {
+		t.Fatalf("remote=%d evicted=%d; want remote>0, evicted=0", st.RemoteReads, st.EvictedPages)
+	}
+	if err := r.d.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newRigWithSpec(t *testing.T, spec config.PipelineSpec) *testRig {
+	t.Helper()
+	cfg := config.Default()
+	cfg.DeviceMemBytes = 2 * memunits.ChunkSize
+	cfg.MMPipeline = spec
+	eng := sim.NewEngine()
+	eng.SetEventBudget(50_000_000)
+	space := alloc.NewSpace()
+	a := space.Alloc("data", 8*memunits.ChunkSize, false)
+	return &testRig{eng: eng, d: New(eng, cfg, space), space: space, a: a}
+}
+
+// denyPlanner is a mock MigrationPlanner that never migrates.
+type denyPlanner struct{}
+
+func (denyPlanner) Name() string                 { return "deny-mock" }
+func (denyPlanner) ShouldMigrate(mm.Access) bool { return false }
+
+// The MigrationPlanner contract: the planner alone decides migrate vs
+// remote — a planner that always refuses turns every access into a
+// remote access and nothing ever migrates.
+func TestDenyPlannerServesEverythingRemotely(t *testing.T) {
+	r := newPipelineRig(t, nil, 4<<20, mm.Pipeline{Planner: denyPlanner{}})
+	n := touchAll(t, r)
+	st := r.d.Stats()
+	if st.MigratedPages != 0 || st.FarFaults != 0 {
+		t.Fatalf("migrated=%d faults=%d with a deny planner", st.MigratedPages, st.FarFaults)
+	}
+	if st.RemoteReads != uint64(n) {
+		t.Fatalf("remote reads = %d, want %d", st.RemoteReads, n)
+	}
+	if r.d.PendingWork() {
+		t.Fatal("pending work without any migration")
+	}
+}
+
+// soloGovernor is a mock PrefetchGovernor whose chunks never group
+// neighbours: every fault migrates exactly its own block.
+type soloGovernor struct{}
+
+func (soloGovernor) Name() string { return "solo-mock" }
+func (soloGovernor) NewChunk(nBlocks int) mm.ChunkPrefetcher {
+	return prefetch.NewChunk(config.PrefetchNone, nBlocks)
+}
+
+// The PrefetchGovernor contract: migration grouping comes only from the
+// governor's chunks, so a single-block governor yields zero prefetched
+// pages while demand migration still works.
+func TestSoloGovernorDisablesPrefetch(t *testing.T) {
+	r := newPipelineRig(t, nil, 4<<20, mm.Pipeline{Prefetch: soloGovernor{}})
+	n := touchAll(t, r)
+	st := r.d.Stats()
+	if st.PrefetchedPages != 0 {
+		t.Fatalf("solo governor prefetched %d pages", st.PrefetchedPages)
+	}
+	if st.MigratedPages != uint64(n)*memunits.PagesPerBlock {
+		t.Fatalf("migrated %d pages, want %d", st.MigratedPages, uint64(n)*memunits.PagesPerBlock)
+	}
+}
+
+// The FaultBatcher contract under the stock driver: the driver never
+// re-adds a pending block, so the deduplicating batcher must produce
+// exactly the same statistics as the accumulating default.
+func TestDedupBatcherMatchesAccumulate(t *testing.T) {
+	run := func(name string) *testRig {
+		cfg := config.Default().WithPolicy(config.PolicyAdaptive)
+		cfg.DeviceMemBytes = 2 * memunits.ChunkSize
+		cfg.MMPipeline.Batcher = name
+		eng := sim.NewEngine()
+		eng.SetEventBudget(50_000_000)
+		space := alloc.NewSpace()
+		a := space.Alloc("data", 4*memunits.ChunkSize, false)
+		r := &testRig{eng: eng, d: New(eng, cfg, space), space: space, a: a}
+		// A write-heavy strided pass plus a re-read pass, to exercise
+		// batching, eviction and write-back.
+		for pass := 0; pass < 3; pass++ {
+			for off := uint64(0); off < r.a.Size; off += memunits.BlockSize {
+				r.syncAccess(t, r.a.Base+memunits.Addr(off), pass%2 == 0)
+			}
+		}
+		r.d.Finalize()
+		return r
+	}
+	accum := run("accumulate")
+	dedup := run("dedup")
+	if *accum.d.Stats() != *dedup.d.Stats() {
+		t.Fatalf("stats diverged:\naccumulate: %+v\ndedup:      %+v", *accum.d.Stats(), *dedup.d.Stats())
+	}
+}
+
+// Pipeline() exposes the composed stages, and New fills defaults from
+// the configuration.
+func TestPipelineIntrospection(t *testing.T) {
+	r := newRig(t, nil, 4<<20)
+	p := r.d.Pipeline()
+	if p.Batcher == nil || p.Planner == nil || p.Evictor == nil || p.Prefetch == nil {
+		t.Fatalf("incomplete pipeline: %+v", p)
+	}
+	if p.Planner.Name() != "threshold" {
+		t.Fatalf("default planner = %q", p.Planner.Name())
+	}
+	// config.Default pairs no migration policy with LRU replacement.
+	if p.Evictor.Name() != "LRU" {
+		t.Fatalf("default evictor = %q", p.Evictor.Name())
+	}
+}
+
+// The thrash-guard planner ships through the registry seam: selecting
+// it by name changes behaviour (chronic thrashers stop migrating)
+// without any driver-core hook.
+func TestThrashGuardStopsChronicThrashing(t *testing.T) {
+	run := func(planner string) *runTally {
+		cfg := config.Default().WithPolicy(config.PolicyDisabled)
+		cfg.DeviceMemBytes = 2 * memunits.ChunkSize
+		cfg.MMPipeline.Planner = planner
+		eng := sim.NewEngine()
+		eng.SetEventBudget(200_000_000)
+		space := alloc.NewSpace()
+		a := space.Alloc("data", 4*memunits.ChunkSize, false)
+		r := &testRig{eng: eng, d: New(eng, cfg, space), space: space, a: a}
+		// Cyclic passes over 2x capacity under first-touch: the classic
+		// thrashing pattern.
+		for pass := 0; pass < 6; pass++ {
+			for off := uint64(0); off < r.a.Size; off += memunits.BlockSize {
+				r.syncAccess(t, r.a.Base+memunits.Addr(off), false)
+			}
+		}
+		st := r.d.Stats()
+		return &runTally{thrashed: st.ThrashedPages, remote: st.RemoteReads + st.RemoteWrites}
+	}
+	base := run("")
+	guarded := run("thrash-guard")
+	if base.thrashed == 0 {
+		t.Fatal("baseline did not thrash — the pattern proves nothing")
+	}
+	if guarded.thrashed >= base.thrashed {
+		t.Fatalf("thrash-guard did not reduce thrashing: %d vs %d", guarded.thrashed, base.thrashed)
+	}
+	if guarded.remote == 0 {
+		t.Fatal("thrash-guard never served pinned blocks remotely")
+	}
+}
+
+type runTally struct{ thrashed, remote uint64 }

@@ -212,6 +212,9 @@ var (
 	Fig6        = experiments.Fig6
 	Fig7        = experiments.Fig7
 	Fig6And7    = experiments.Fig6And7
-	Fig8        = experiments.Fig8
-	Table1      = experiments.Table1
+	// Fig6And7Cycles additionally reports the sweep's deterministic
+	// simulated-cycle total (the bench-smoke drift metric).
+	Fig6And7Cycles = experiments.Fig6And7Cycles
+	Fig8           = experiments.Fig8
+	Table1         = experiments.Table1
 )
