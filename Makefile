@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: build test short vet staticcheck race bench bench-baseline bench-smoke figures check ci smoke
+.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-smoke figures check ci smoke
+
+# Pinned tool versions for CI (and for local installs that want to match
+# CI exactly). Bump deliberately; staticcheck versions are coupled to Go
+# releases.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 build:
 	$(GO) build ./...
@@ -14,13 +20,36 @@ short:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. staticcheck is not vendored; the target
-# skips with a notice when the binary is absent (CI installs it).
+# The repo's own analyzer suite (cmd/simlint): determinism and
+# correctness conventions machine-checked. Stdlib-only, so it always
+# runs — no install step, no network.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+# Static analysis beyond vet and simlint. staticcheck is not vendored;
+# locally the target skips with a notice when the binary is absent, but
+# in CI (CI env var set) a missing binary is a hard failure — the gate
+# must not silently degrade.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "staticcheck required in CI but not installed (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))" >&2; \
+		exit 1; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# Known-vulnerability scan. Same contract as staticcheck: skip locally
+# when absent, fail in CI.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	elif [ -n "$$CI" ]; then \
+		echo "govulncheck required in CI but not installed (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))" >&2; \
+		exit 1; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
 # Race-detect the whole module; internal/sweep and internal/multigpu
@@ -49,7 +78,7 @@ bench-smoke:
 figures:
 	$(GO) run ./cmd/paperbench -fig all
 
-check: vet test
+check: vet lint test
 
 # End-to-end smoke: a small sweep with the full observability surface on
 # (metrics registry + periodic invariant checker), validating that the
@@ -60,7 +89,7 @@ smoke:
 	grep -q '"version": 1' /tmp/uvmsim-smoke-metrics.json
 	grep -q '"runs"' /tmp/uvmsim-smoke-metrics.json
 
-# What CI runs (.github/workflows/ci.yml): vet + staticcheck, build,
-# race-detected tests, the observability smoke, then the bench-smoke
-# drift gate.
-ci: vet staticcheck build race smoke bench-smoke
+# What CI runs (.github/workflows/ci.yml): vet + simlint + staticcheck
+# + govulncheck, build, race-detected tests, the observability smoke,
+# then the bench-smoke drift gate.
+ci: vet lint staticcheck govulncheck build race smoke bench-smoke

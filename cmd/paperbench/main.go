@@ -198,6 +198,7 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 	// path fails in milliseconds rather than after minutes of simulation.
 	outs := make(map[string]io.WriteCloser)
 	defer func() {
+		//simlint:allow maporder -- closing output files; order cannot reach results
 		for _, f := range outs {
 			f.Close()
 		}

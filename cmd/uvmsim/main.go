@@ -181,6 +181,7 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	// simulated work.
 	outs := make(map[string]*os.File)
 	defer func() {
+		//simlint:allow maporder -- closing output files; order cannot reach results
 		for _, f := range outs {
 			f.Close()
 		}

@@ -10,6 +10,8 @@
 // of hotness across allocations.
 package counters
 
+import "uvmsim/internal/satmath"
+
 // Bit widths of the two fields packed into the 32-bit register.
 const (
 	AccessBits    = 27
@@ -48,12 +50,14 @@ func New() *File {
 	return &File{}
 }
 
+//sim:hotpath
 func (f *File) get(block uint64) *entry {
 	if block >= uint64(len(f.blocks)) {
-		n := block + 1
+		n := satmath.Add(block, 1)
 		if m := uint64(2 * len(f.blocks)); m > n {
 			n = m
 		}
+		//simlint:allow hotalloc -- doubling grow path runs O(log n) times, amortized free
 		grown := make([]entry, n)
 		copy(grown, f.blocks)
 		f.blocks = grown
@@ -76,6 +80,8 @@ func (f *File) at(block uint64) *entry {
 
 // Access records one access to the block and returns the updated count.
 // On saturation every block's access count is halved first.
+//
+//sim:hotpath
 func (f *File) Access(block uint64) uint64 {
 	f.totalAccesses++
 	e := f.get(block)
@@ -154,12 +160,12 @@ func (f *File) Tracked() int { return f.tracked }
 // chunks.
 func (f *File) SumCounts(first uint64, n uint64) uint64 {
 	var sum uint64
-	end := first + n
+	end := satmath.Add(first, n)
 	if lim := uint64(len(f.blocks)); end > lim {
 		end = lim
 	}
 	for b := first; b < end; b++ {
-		sum += uint64(f.blocks[b].access)
+		sum = satmath.Add(sum, uint64(f.blocks[b].access))
 	}
 	return sum
 }
@@ -169,7 +175,7 @@ func (f *File) SumCounts(first uint64, n uint64) uint64 {
 // thrashed block.
 func (f *File) MaxRoundTrips(first uint64, n uint64) uint64 {
 	var max uint64
-	end := first + n
+	end := satmath.Add(first, n)
 	if lim := uint64(len(f.blocks)); end > lim {
 		end = lim
 	}

@@ -279,6 +279,8 @@ func (g *GPU) pickSM() *sm {
 // step advances a ready warp: it consumes pure-compute instructions in
 // bulk, reserves SM issue time, and schedules the next memory issue or
 // retirement.
+//
+//sim:hotpath
 func (g *GPU) step(w *warp) {
 	var computeCycles uint64
 	for {
@@ -303,6 +305,8 @@ func (g *GPU) step(w *warp) {
 }
 
 // reserve occupies the SM issue port for cycles and returns the end time.
+//
+//sim:hotpath
 func (g *GPU) reserve(s *sm, cycles uint64) sim.Cycle {
 	start := g.eng.Now()
 	if s.freeAt > start {
@@ -393,6 +397,8 @@ func (g *GPU) sectorDone(w *warp) {
 }
 
 // resumeAt schedules the warp's next step.
+//
+//sim:hotpath
 func (g *GPU) resumeAt(w *warp, at sim.Cycle) {
 	now := g.eng.Now()
 	if at <= now {

@@ -1,0 +1,12 @@
+package eventseq_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/eventseq"
+	"uvmsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, eventseq.Analyzer, "sim", "eventseqfix")
+}

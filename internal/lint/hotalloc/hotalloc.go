@@ -1,0 +1,203 @@
+// Package hotalloc protects the zero-allocation hot paths established in
+// PR 1. Functions annotated with a `//sim:hotpath` doc-comment directive
+// promise not to allocate per call (the engine asserts 0 allocs/op in
+// its benchmarks); this analyzer turns that promise into a compile-time
+// check instead of a benchmark regression found weeks later.
+//
+// Inside an annotated function the following are flagged:
+//
+//   - function literals (a capturing closure allocates at creation; hot
+//     paths use closures prebound at construction time),
+//   - any fmt.* call (Sprintf and friends allocate; error paths that
+//     panic are exempt — see below),
+//   - the make and new builtins,
+//   - append, except the amortized-growth form `x = append(x, ...)`
+//     where x is a struct field (persistent buffers growing toward a
+//     steady state, the engine's heap/ring/slot-arena pattern),
+//   - slice and map composite literals, and address-of composite
+//     literals (&T{} escapes),
+//   - string concatenation and string<->[]byte/[]rune conversions.
+//
+// Subtrees rooted at a panic(...) call are skipped entirely: a panicking
+// simulator is already dead, so its formatting cost is irrelevant.
+// Individual findings can be waived with
+// `//simlint:allow hotalloc -- reason` (e.g. an amortized grow path).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"uvmsim/internal/lint"
+)
+
+// Analyzer is the hotalloc checker.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation-inducing constructs inside //sim:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !lint.HasDirective(fd.Doc, "sim:hotpath") {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+}
+
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl) {
+	// sanctioned collects append calls in the amortized self-append
+	// form; they are skipped when the walk reaches them.
+	sanctioned := map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if call := sanctionedAppend(pass, as); call != nil {
+				sanctioned[call] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path %s allocates per call; prebind it at construction time", fd.Name.Name)
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass.TypeOf(n.X)) {
+				if tv, ok := pass.Info.Types[n]; !ok || tv.Value == nil {
+					pass.Reportf(n.OpPos, "string concatenation in hot path %s allocates", fd.Name.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address-of composite literal in hot path %s escapes to the heap; reuse a pooled object", fd.Name.Name)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "slice/map literal in hot path %s allocates; preallocate at construction time", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, fd, n, sanctioned)
+		}
+		return true
+	})
+}
+
+// checkCall inspects one call in a hot function; its return value tells
+// the walk whether to descend into the call's subtree.
+func checkCall(pass *lint.Pass, fd *ast.FuncDecl, call *ast.CallExpr, sanctioned map[*ast.CallExpr]bool) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // cold path: skip the whole subtree
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s in hot path %s allocates; preallocate at construction time", b.Name(), fd.Name.Name)
+			case "append":
+				if !sanctioned[call] {
+					pass.Reportf(call.Pos(), "append in hot path %s allocates unless it grows a persistent field in place (x = append(x, ...))", fd.Name.Name)
+				}
+			}
+			return true
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string <-> []byte / []rune copies.
+		if conversionAllocates(pass, call) {
+			pass.Reportf(call.Pos(), "string conversion in hot path %s allocates", fd.Name.Name)
+		}
+		return true
+	}
+	if fn := lint.CalleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s in hot path %s allocates; move formatting off the hot path", fn.Name(), fd.Name.Name)
+	}
+	return true
+}
+
+// sanctionedAppend returns the append call of an amortized in-place
+// field growth `x.f = append(x.f, ...)`, or nil.
+func sanctionedAppend(pass *lint.Pass, as *ast.AssignStmt) *ast.CallExpr {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	lhs := ast.Unparen(as.Lhs[0])
+	if _, ok := lhs.(*ast.SelectorExpr); !ok {
+		return nil // locals are fresh allocations, only fields persist
+	}
+	if !sameChain(lhs, ast.Unparen(call.Args[0])) {
+		return nil
+	}
+	return call
+}
+
+// sameChain reports whether a and b are the identical ident/selector
+// chain (x.f.g == x.f.g).
+func sameChain(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameChain(ast.Unparen(a.X), ast.Unparen(b.X))
+	}
+	return false
+}
+
+// conversionAllocates reports whether the conversion call copies memory:
+// string([]byte), string([]rune), []byte(string), []rune(string).
+func conversionAllocates(pass *lint.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	dst := pass.TypeOf(call.Fun)
+	src := pass.TypeOf(call.Args[0])
+	return (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}

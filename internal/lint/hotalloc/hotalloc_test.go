@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/hotalloc"
+	"uvmsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "hotallocfix")
+}

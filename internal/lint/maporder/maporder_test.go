@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/maporder"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "maporderfix")
+}

@@ -1,0 +1,105 @@
+// Fixture for the maporder analyzer: flagged loops carry want comments,
+// the rest demonstrate the accepted order-insensitive shapes.
+package maporderfix
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+func bad(m map[string]int) {
+	for k := range m { // want "map iteration order is nondeterministic"
+		fmt.Println(k)
+	}
+}
+
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSlicesSort(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func collectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func condInsert(m map[string]int) map[string]bool {
+	out := make(map[string]bool)
+	for k, v := range m {
+		if v > 0 {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func sum(m map[string]int) int {
+	var s int
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sumFloatsBad(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+func suppressed(m map[string]int) {
+	//simlint:allow maporder -- fixture: suppression must silence the finding
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func sliceIsFine(s []int) {
+	for _, v := range s {
+		fmt.Println(v)
+	}
+}

@@ -1,0 +1,75 @@
+// Package satarith flags unchecked uint64 multiplication and addition
+// in the access-counter and threshold packages. PR 2 fixed a real bug of
+// this shape: the Adaptive policy's ts*(r+1)*p product wrapped at the
+// paper's p=2^20 pinning penalty, collapsing an "effectively infinite"
+// threshold to a tiny one and re-enabling migration for exactly the
+// blocks the penalty was meant to pin. The rule generalizes that fix:
+// counter/threshold arithmetic must go through the saturating helpers in
+// internal/satmath (satmath.Mul, satmath.Add), never through raw * or +.
+//
+// Scope is deliberately narrow — the packages named policy and counters,
+// where every uint64 is a count or a threshold. Cycle math in the
+// engine, byte math in the interconnect and size math in config are out
+// of scope; widening the net there would drown the signal. Compile-time
+// constant expressions are exempt (they cannot wrap at run time without
+// failing to compile).
+package satarith
+
+import (
+	"go/ast"
+	"go/token"
+
+	"uvmsim/internal/lint"
+)
+
+// Analyzer is the satarith checker.
+var Analyzer = &lint.Analyzer{
+	Name: "satarith",
+	Doc:  "requires satmath saturating helpers for uint64 counter/threshold arithmetic in policy and counters",
+	Run:  run,
+}
+
+// scoped lists the package names whose uint64 arithmetic is
+// counter/threshold arithmetic by definition.
+var scoped = map[string]bool{"policy": true, "counters": true}
+
+func run(pass *lint.Pass) {
+	if !scoped[pass.Pkg.Name()] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.MUL && n.Op != token.ADD {
+					return true
+				}
+				if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded: cannot wrap at run time
+				}
+				if lint.IsUint64(pass.TypeOf(n.X)) && lint.IsUint64(pass.TypeOf(n.Y)) {
+					pass.Reportf(n.OpPos, "unchecked uint64 %q on counter/threshold values can wrap; use satmath.%s", n.Op, helper(n.Op))
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.MUL_ASSIGN && n.Tok != token.ADD_ASSIGN {
+					return true
+				}
+				if len(n.Lhs) == 1 && lint.IsUint64(pass.TypeOf(n.Lhs[0])) {
+					op := token.MUL
+					if n.Tok == token.ADD_ASSIGN {
+						op = token.ADD
+					}
+					pass.Reportf(n.TokPos, "unchecked uint64 %q on counter/threshold values can wrap; use satmath.%s", n.Tok, helper(op))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func helper(op token.Token) string {
+	if op == token.MUL {
+		return "Mul"
+	}
+	return "Add"
+}

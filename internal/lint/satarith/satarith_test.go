@@ -1,0 +1,12 @@
+package satarith_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/satarith"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, satarith.Analyzer, "policy", "otherpkg")
+}

@@ -1,0 +1,7 @@
+// Fixture for the satarith analyzer: package is neither policy nor
+// counters, so raw uint64 arithmetic is out of scope.
+package otherpkg
+
+func rawIsFine(a, b uint64) uint64 {
+	return a*b + 1
+}

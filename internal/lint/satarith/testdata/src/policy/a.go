@@ -1,0 +1,33 @@
+// Fixture for the satarith analyzer. The package is named policy, so
+// unchecked uint64 multiply/add on variables must go through satmath.
+package policy
+
+type cycle = uint64
+
+func badMul(ts, p cycle, r uint64) uint64 {
+	return ts * (r + 1) * p // want `satmath\.Mul` `satmath\.Mul` `satmath\.Add`
+}
+
+func badAdd(a, b uint64) uint64 {
+	return a + b // want `satmath\.Add`
+}
+
+func badAssign(a, b uint64) uint64 {
+	a += b // want `satmath\.Add`
+	a *= b // want `satmath\.Mul`
+	return a
+}
+
+func constFolded(a uint64) uint64 {
+	const scale = 4
+	_ = uint64(2 * scale) // fully constant: cannot wrap at run time
+	return a - 1          // subtraction is eventseq's concern, not satarith's
+}
+
+func intsAreFine(a, b int) int {
+	return a*b + 1
+}
+
+func suppressed(a, b uint64) uint64 {
+	return a * b //simlint:allow satarith -- fixture: suppression must silence the finding
+}

@@ -1,0 +1,12 @@
+package statsowner_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/statsowner"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, statsowner.Analyzer, "stats", "obs", "uvm", "rogue")
+}

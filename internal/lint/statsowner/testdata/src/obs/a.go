@@ -1,0 +1,12 @@
+// Fixture obs package: observability state only obs may mutate.
+package obs
+
+type Snapshot struct {
+	Count  uint64
+	Values map[string]uint64
+}
+
+func (s *Snapshot) Record(name string, v uint64) {
+	s.Count++
+	s.Values[name] = v
+}

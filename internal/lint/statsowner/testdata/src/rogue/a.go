@@ -1,0 +1,20 @@
+// Fixture rogue package: no ownership of anything; every counter write
+// here is a double-count bug.
+package rogue
+
+import (
+	"obs"
+	"stats"
+)
+
+func meddle(c *stats.Counters, s *obs.Snapshot) {
+	c.FarFaults++            // want `owned by \[uvm\]`
+	s.Count++                // want `may only be mutated inside obs`
+	s.Values["faults"] = 1   // want `may only be mutated inside obs`
+}
+
+type local struct{ Cycles uint64 }
+
+func ownStructIsFine(l *local) {
+	l.Cycles++ // same field name, but not defined in a stats package
+}

@@ -1,0 +1,17 @@
+// Fixture stats package: mirrors the repo's stats.Counters shape. The
+// owning package mutates its own state freely.
+package stats
+
+type Counters struct {
+	Cycles       uint64
+	FarFaults    uint64
+	Instructions uint64
+	Bogus        uint64 // deliberately absent from the owners table
+}
+
+func (c *Counters) Reset() {
+	c.Cycles = 0
+	c.FarFaults = 0
+	c.Instructions = 0
+	c.Bogus = 0
+}

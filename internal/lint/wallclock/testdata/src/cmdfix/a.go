@@ -1,0 +1,14 @@
+// Fixture for the wallclock analyzer: not under internal/, so wall
+// clocks and global rand are allowed (CLIs time real execution).
+package cmdfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timing() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(4)
+	return time.Since(start)
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/wallclock"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "internal/wallclockfix", "cmdfix")
+}

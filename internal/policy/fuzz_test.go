@@ -1,0 +1,69 @@
+package policy
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"uvmsim/internal/config"
+)
+
+// bigSat mirrors the saturating composition with exact big.Int
+// arithmetic: each step caps at MaxUint64, independently of the
+// bits.Mul64/Add64 carry tricks inside satmath.
+var bigMax = new(big.Int).SetUint64(math.MaxUint64)
+
+func bigCap(x *big.Int) *big.Int {
+	if x.Cmp(bigMax) > 0 {
+		return new(big.Int).Set(bigMax)
+	}
+	return x
+}
+
+// FuzzAdaptiveThreshold proves the Adaptive threshold products saturate
+// instead of wrapping for arbitrary ts, r, p and occupancy. This is the
+// generalized form of the PR 2 regression: with the paper's p=2^20
+// "effectively infinite" penalty, a wrapped ts*(r+1)*p collapsed to a
+// tiny threshold and re-enabled migration for pinned blocks.
+func FuzzAdaptiveThreshold(f *testing.F) {
+	f.Add(uint64(8), uint64(1<<20), uint64(0), uint64(0), uint64(1<<20), true)
+	f.Add(uint64(8), uint64(1<<20), uint64(1<<44), uint64(0), uint64(1<<20), true) // PR 2 wrap case
+	f.Add(uint64(8), uint64(2), uint64(3), uint64(512), uint64(1024), false)
+	f.Add(uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(1), false)
+	f.Add(uint64(1), uint64(1), uint64(math.MaxUint64), uint64(0), uint64(0), true)
+	f.Add(uint64(1<<40), uint64(1), uint64(0), uint64(1<<40), uint64(1<<30), false)
+
+	f.Fuzz(func(t *testing.T, ts, p, r, alloc, total uint64, oversub bool) {
+		if ts == 0 || p == 0 {
+			t.Skip("NewDecider rejects zero threshold/penalty")
+		}
+		d := NewDecider(config.Config{Policy: config.PolicyAdaptive, StaticThreshold: ts, Penalty: p})
+		mem := MemState{AllocatedPages: alloc, TotalPages: total, Oversubscribed: oversub}
+		got := d.Threshold(mem, r)
+
+		var want uint64
+		switch {
+		case oversub:
+			// Exact oracle: with every factor >= 1, chained saturating
+			// multiplication equals min(exact product, MaxUint64).
+			exact := new(big.Int).SetUint64(ts)
+			rp1 := new(big.Int).Add(new(big.Int).SetUint64(r), big.NewInt(1))
+			exact.Mul(exact, rp1)
+			exact.Mul(exact, new(big.Int).SetUint64(p))
+			want = bigCap(exact).Uint64()
+		case total == 0:
+			want = 1
+		default:
+			prod := bigCap(new(big.Int).Mul(new(big.Int).SetUint64(ts), new(big.Int).SetUint64(alloc)))
+			q := prod.Quo(prod, new(big.Int).SetUint64(total))
+			want = bigCap(q.Add(q, big.NewInt(1))).Uint64()
+		}
+		if got != want {
+			t.Fatalf("Threshold(ts=%d p=%d r=%d alloc=%d total=%d oversub=%v) = %d, want %d",
+				ts, p, r, alloc, total, oversub, got, want)
+		}
+		if got == 0 {
+			t.Fatalf("threshold wrapped to zero for ts=%d p=%d r=%d", ts, p, r)
+		}
+	})
+}

@@ -16,10 +16,9 @@ package policy
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 
 	"uvmsim/internal/config"
+	"uvmsim/internal/satmath"
 )
 
 // MemState is the snapshot of device-memory occupancy the threshold
@@ -74,33 +73,19 @@ func (d *Decider) Threshold(mem MemState, roundTrips uint64) uint64 {
 			// threshold can collapse to a tiny value — re-enabling
 			// migration for exactly the blocks the penalty was supposed
 			// to pin host-side.
-			return satMul(satMul(d.ts, satAdd(roundTrips, 1)), d.p)
+			return satmath.Mul(satmath.Mul(d.ts, satmath.Add(roundTrips, 1)), d.p)
 		}
 		if mem.TotalPages == 0 {
 			return 1
 		}
-		return d.ts*mem.AllocatedPages/mem.TotalPages + 1
+		// The occupancy product needs the same saturation care as the
+		// penalty product: with an adversarial ts the plain
+		// ts*AllocatedPages wraps, and a wrapped quotient (or the +1 on
+		// a saturated quotient) collapses the threshold.
+		return satmath.Add(satmath.Mul(d.ts, mem.AllocatedPages)/mem.TotalPages, 1)
 	default:
 		panic(fmt.Sprintf("policy: unknown migration policy %v", d.kind))
 	}
-}
-
-// satMul returns a*b, saturating at MaxUint64 on overflow.
-func satMul(a, b uint64) uint64 {
-	hi, lo := bits.Mul64(a, b)
-	if hi != 0 {
-		return math.MaxUint64
-	}
-	return lo
-}
-
-// satAdd returns a+b, saturating at MaxUint64 on overflow.
-func satAdd(a, b uint64) uint64 {
-	s, carry := bits.Add64(a, b, 0)
-	if carry != 0 {
-		return math.MaxUint64
-	}
-	return s
 }
 
 // ShouldMigrate reports whether a block whose access counter has just

@@ -1,0 +1,33 @@
+// Package satmath provides saturating uint64 arithmetic for access
+// counters and migration thresholds. The paper's Adaptive policy
+// multiplies a static threshold by a round-trip count and a penalty of
+// p=2^20 ("effectively infinite"); a wrapped product collapses such a
+// threshold to a small number and silently re-enables migration for
+// exactly the blocks the penalty was supposed to pin host-side (fixed in
+// PR 2). Counter and threshold math must therefore saturate at
+// MaxUint64 instead of wrapping — the satarith analyzer in
+// internal/lint enforces that these helpers are used.
+package satmath
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Mul returns a*b, saturating at MaxUint64 on overflow.
+func Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return math.MaxUint64
+	}
+	return lo
+}
+
+// Add returns a+b, saturating at MaxUint64 on overflow.
+func Add(a, b uint64) uint64 {
+	s, carry := bits.Add64(a, b, 0)
+	if carry != 0 {
+		return math.MaxUint64
+	}
+	return s
+}

@@ -123,6 +123,8 @@ func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
 func (e *Engine) Pending() int { return e.live }
 
 // allocSlot stores fn in the arena and returns its index.
+//
+//sim:hotpath
 func (e *Engine) allocSlot(fn Event) int32 {
 	if e.free != 0 {
 		s := e.free - 1
@@ -136,6 +138,8 @@ func (e *Engine) allocSlot(fn Event) int32 {
 
 // takeSlot removes and returns the closure of slot s, releasing it to
 // the free list.
+//
+//sim:hotpath
 func (e *Engine) takeSlot(s int32) Event {
 	fn := e.slots[s].fn
 	e.slots[s].fn = nil
@@ -145,6 +149,8 @@ func (e *Engine) takeSlot(s int32) Event {
 }
 
 // schedule enqueues fn at absolute cycle at and returns its ID.
+//
+//sim:hotpath
 func (e *Engine) schedule(at Cycle, fn Event) EventID {
 	if fn == nil {
 		panic("sim: scheduling nil event")
@@ -215,6 +221,8 @@ func (e *Engine) tombstone(s int32) bool {
 }
 
 // pushHeap inserts en, sifting up.
+//
+//sim:hotpath
 func (e *Engine) pushHeap(en entry) {
 	e.heap = append(e.heap, en)
 	i := len(e.heap) - 1
@@ -230,6 +238,8 @@ func (e *Engine) pushHeap(en entry) {
 }
 
 // popHeap removes and returns the minimum entry.
+//
+//sim:hotpath
 func (e *Engine) popHeap() entry {
 	h := e.heap
 	top := h[0]
@@ -268,6 +278,8 @@ func (e *Engine) popHeap() entry {
 // next dequeues the earliest pending entry in (at, seq) order, or
 // ok=false when the engine is drained. Tombstoned (canceled) entries are
 // discarded without advancing the clock.
+//
+//sim:hotpath
 func (e *Engine) next() (entry, Event, bool) {
 	for {
 		var en entry
@@ -295,6 +307,8 @@ func (e *Engine) next() (entry, Event, bool) {
 
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
+//
+//sim:hotpath
 func (e *Engine) Step() bool {
 	en, fn, ok := e.next()
 	if !ok {
@@ -337,6 +351,8 @@ func (e *Engine) Run() Cycle {
 
 // headAt returns the timestamp of the earliest live event, discarding
 // canceled entries at the front, with ok=false when nothing is pending.
+//
+//sim:hotpath
 func (e *Engine) headAt() (Cycle, bool) {
 	for len(e.heap) > 0 && e.slots[e.heap[0].slot].fn == nil {
 		en := e.popHeap()

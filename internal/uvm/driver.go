@@ -430,6 +430,8 @@ func (d *Driver) memState() policy.MemState {
 // resident in device memory, returning the completion cycle. ok is false
 // when the slow path (Access) must be used instead. The fast path exists
 // so that the dominant near-access case costs no event-queue traffic.
+//
+//sim:hotpath
 func (d *Driver) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool) {
 	b := memunits.BlockOf(addr)
 	bs := d.blockAt(b)
