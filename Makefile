@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-smoke figures check ci smoke
+.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -68,12 +68,22 @@ bench:
 bench-baseline:
 	$(GO) run ./cmd/paperbench -bench-json BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
 
+# Regenerate the committed cluster perf trajectory: a 4-GPU ra cluster
+# at scale 0.5, sequential vs conservative-PDES (see DESIGN.md §12),
+# recording wall clock and the simulated-cycle makespan checksum.
+bench-cluster-baseline:
+	$(GO) run ./cmd/paperbench -bench-cluster-json BENCH_cluster.json -scale 0.5
+
 # Behaviour-drift gate: rerun the Fig. 6/7 sweep (bfs+sssp subset at
 # scale 0.1) and fail if the deterministic simulated-cycle total drifts
-# more than ±2% from the committed baseline. Intentional behaviour
-# changes regenerate the baseline with bench-baseline.
+# more than ±2% from the committed baseline; then rerun the 4-GPU
+# cluster in PDES mode against its own checksum (which the sequential
+# run recorded — so this also re-proves sequential/PDES equivalence).
+# Intentional behaviour changes regenerate the baselines with
+# bench-baseline / bench-cluster-baseline.
 bench-smoke:
 	$(GO) run ./cmd/paperbench -bench-compare BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
+	$(GO) run ./cmd/paperbench -bench-cluster-compare BENCH_cluster.json
 
 figures:
 	$(GO) run ./cmd/paperbench -fig all

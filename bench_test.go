@@ -10,6 +10,7 @@
 package uvmsim
 
 import (
+	"runtime"
 	"testing"
 
 	"uvmsim/internal/alloc"
@@ -166,6 +167,38 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 		b.ReportMetric(float64(times[1])/float64(times[0]), "none-vs-tree")
 		b.ReportMetric(float64(times[2])/float64(times[0]), "seq-vs-tree")
 		b.ReportMetric(float64(batches[1])/float64(batches[0]), "none-vs-tree-batches")
+	}
+}
+
+// BenchmarkCluster measures the §VIII multi-GPU extension: one 4-GPU ra
+// cluster run per iteration, sequentially and under the
+// conservative-PDES coordinator at GOMAXPROCS workers. The two modes
+// are byte-identical by design, so the makespan is reported as a custom
+// metric — behaviour drift shows up alongside speed. cmd/paperbench
+// -bench-cluster-json records the same pair at scale 0.5 as
+// BENCH_cluster.json, and -bench-cluster-compare gates on it.
+func BenchmarkCluster(b *testing.B) {
+	const gpus = 4
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 0},
+		{"Parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			w := BuildWorkload("ra", benchScale)
+			cfg := DefaultConfig().WithPolicy(PolicyAdaptive).
+				WithOversubscription(w.WorkingSet()/gpus, 125)
+			cfg.ClusterWorkers = bc.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				makespan = NewCluster(w, cfg, gpus).Run().Cycles
+			}
+			b.ReportMetric(float64(makespan), "makespan-cycles")
+		})
 	}
 }
 

@@ -67,6 +67,9 @@ type options struct {
 	benchJSON    string
 	benchCompare string
 
+	benchClusterJSON    string
+	benchClusterCompare string
+
 	metricsJSON     string
 	traceOut        string
 	traceSample     uint64
@@ -83,9 +86,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		o           options
-		scale       = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
-		workloads   = fs.String("workloads", "", "comma-separated workload subset (default: all)")
+		o              options
+		scale          = fs.Float64("scale", 1.0, "workload scale factor (1.0 = paper size)")
+		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: all)")
+		workers        = fs.Int("workers", 0, "concurrent sweep cells per figure (0 = one per core)")
+		clusterWorkers = fs.Int("cluster-workers", 0, "PDES worker threads per multi-GPU cluster run (0 or 1 = sequential; results are identical either way)")
 		planner     = fs.String("planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
 		replacement = fs.String("replacement", "", "replacement policy for eviction: lru, lfu (default: paper pairing)")
 		prefetcher  = fs.String("prefetcher", "", "prefetcher: tree, none, sequential (default: tree)")
@@ -99,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&o.benchJSON, "bench-json", "", "run the benchmark suite and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
+	fs.StringVar(&o.benchClusterJSON, "bench-cluster-json", "", "run the multi-GPU cluster benchmark (sequential vs PDES) and write a versioned JSON report to this file ('-' for stdout)")
+	fs.StringVar(&o.benchClusterCompare, "bench-cluster-compare", "", "re-run the cluster benchmark at the baseline's own scale and fail if its makespan drifts >2% from this file")
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the observability metric registry of every simulation cell to this file as JSON ('-' for stdout)")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write cycle-stamped timeline traces to this file (.jsonl = compact JSONL, otherwise Chrome trace_event JSON)")
 	fs.Uint64Var(&o.traceSample, "trace-sample", 1, "keep one of every N trace spans (with -trace-out; 1 = all)")
@@ -106,7 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" {
+	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" &&
+		o.benchClusterJSON == "" && o.benchClusterCompare == "" {
 		fs.Usage()
 		return 2
 	}
@@ -114,12 +122,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "paperbench: -scale must be positive, got %v\n", *scale)
 		return 2
 	}
-	o.opt = uvmsim.ExperimentOptions{Scale: *scale}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "paperbench: -workers must be non-negative, got %d\n", *workers)
+		return 2
+	}
+	if *clusterWorkers < 0 {
+		fmt.Fprintf(stderr, "paperbench: -cluster-workers must be non-negative, got %d\n", *clusterWorkers)
+		return 2
+	}
+	o.opt = uvmsim.ExperimentOptions{Scale: *scale, Workers: *workers}
 	if *workloads != "" {
 		o.opt.Workloads = cliutil.SplitList(*workloads)
 	}
-	if *planner != "" || *replacement != "" || *prefetcher != "" {
+	if *planner != "" || *replacement != "" || *prefetcher != "" || *clusterWorkers > 0 {
 		base := uvmsim.DefaultConfig()
+		base.ClusterWorkers = *clusterWorkers
 		name, err := cliutil.ParseComponentName("planner", *planner, mm.PlannerNames())
 		if err != nil {
 			fmt.Fprintf(stderr, "paperbench: %v\n", err)
@@ -231,6 +248,16 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 	}
 	if o.benchCompare != "" {
 		if err := runBenchCompare(o.benchCompare, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchClusterJSON != "" {
+		if err := runBenchClusterSuite(o.benchClusterJSON, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchClusterCompare != "" {
+		if err := runBenchClusterCompare(o.benchClusterCompare, o.opt, stdout, stderr); err != nil {
 			return err
 		}
 	}
@@ -485,5 +512,134 @@ func runBenchCompare(path string, opt uvmsim.ExperimentOptions, stdout, stderr i
 			drift*100, path, benchDriftLimit*100)
 	}
 	fmt.Fprintf(stdout, "bench-compare: PASS (within ±%.0f%%)\n", benchDriftLimit*100)
+	return nil
+}
+
+// Cluster-bench parameters: the §VIII extension's irregular centerpiece
+// on a 4-GPU cluster at the paper's oversubscription point.
+const (
+	benchClusterWorkload = "ra"
+	benchClusterGPUs     = 4
+	benchClusterOversub  = 125
+)
+
+// benchClusterSetup builds the cluster benchmark's workload and
+// configuration with the given PDES worker count (0 = sequential).
+func benchClusterSetup(opt uvmsim.ExperimentOptions, workers int) (*uvmsim.Workload, uvmsim.Config) {
+	base := opt.Base
+	if base.NumSMs == 0 {
+		base = uvmsim.DefaultConfig()
+	}
+	w := uvmsim.BuildWorkload(benchClusterWorkload, opt.Scale)
+	cfg := base.WithPolicy(uvmsim.PolicyAdaptive).
+		WithOversubscription(w.WorkingSet()/benchClusterGPUs, benchClusterOversub)
+	cfg.ClusterWorkers = workers
+	return w, cfg
+}
+
+// runBenchClusterSuite measures one 4-GPU cluster run sequentially and
+// under the conservative-PDES coordinator (GOMAXPROCS workers), checks
+// the two makespans agree (they are byte-identical by design), and
+// writes a versioned report carrying the wall-clock numbers and the
+// simulated-cycle checksum bench-cluster-compare gates on.
+func runBenchClusterSuite(path string, opt uvmsim.ExperimentOptions, stdout, stderr io.Writer) error {
+	w, seqCfg := benchClusterSetup(opt, 0)
+	_, parCfg := benchClusterSetup(opt, runtime.GOMAXPROCS(0))
+	var seqCycles, parCycles uint64
+	benchmarks := []struct {
+		name   string
+		cfg    uvmsim.Config
+		cycles *uint64
+	}{
+		{"ClusterSequential", seqCfg, &seqCycles},
+		{"ClusterParallel", parCfg, &parCycles},
+	}
+	suite := &resultio.BenchSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      opt.Scale,
+		Workloads:  []string{benchClusterWorkload},
+	}
+	for _, bm := range benchmarks {
+		fmt.Fprintf(stderr, "bench %s (%d GPUs)...\n", bm.name, benchClusterGPUs)
+		cfg, cycles := bm.cfg, bm.cycles
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				*cycles = uvmsim.NewCluster(w, cfg, benchClusterGPUs).Run().Cycles
+			}
+		})
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (did it fail?)", bm.name)
+		}
+		suite.Results = append(suite.Results, resultio.BenchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			SimCycles:   *cycles,
+		})
+	}
+	if seqCycles != parCycles {
+		return fmt.Errorf("cluster makespan diverged: sequential %d vs parallel %d (PDES must be byte-identical)",
+			seqCycles, parCycles)
+	}
+	fmt.Fprintf(stdout, "bench-cluster: makespan %d cycles, parallel speedup %.2fx at GOMAXPROCS=%d\n",
+		seqCycles, suite.Results[0].NsPerOp/suite.Results[1].NsPerOp, runtime.GOMAXPROCS(0))
+
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return resultio.WriteBenchSuite(out, suite)
+}
+
+// runBenchClusterCompare extends the bench-smoke gate to cluster runs:
+// it re-runs the cluster once in PDES mode at the baseline's own scale
+// (the cluster checksum is self-contained, so it needs no -scale
+// agreement with the single-GPU baseline) and fails when the makespan
+// drifts more than benchDriftLimit. The recorded checksum came from the
+// sequential run, so running the parallel mode here also re-proves the
+// sequential/PDES equivalence on every gate pass.
+func runBenchClusterCompare(path string, opt uvmsim.ExperimentOptions, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := resultio.ReadBenchSuite(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var want *resultio.BenchResult
+	for i := range base.Results {
+		if strings.HasPrefix(base.Results[i].Name, "Cluster") && base.Results[i].SimCycles > 0 {
+			want = &base.Results[i]
+			break
+		}
+	}
+	if want == nil {
+		return fmt.Errorf("baseline %s carries no cluster simulated-cycle total; regenerate it with -bench-cluster-json", path)
+	}
+	clOpt := opt
+	clOpt.Scale = base.Scale
+	w, cfg := benchClusterSetup(clOpt, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stderr, "bench-cluster-compare: running a %d-GPU %s cluster at scale %v...\n",
+		benchClusterGPUs, benchClusterWorkload, base.Scale)
+	got := uvmsim.NewCluster(w, cfg, benchClusterGPUs).Run().Cycles
+	drift := float64(got)/float64(want.SimCycles) - 1
+	fmt.Fprintf(stdout, "bench-cluster-compare: makespan %d vs baseline %d (drift %+.3f%%)\n",
+		got, want.SimCycles, drift*100)
+	if math.Abs(drift) > benchDriftLimit {
+		return fmt.Errorf("cluster makespan drifted %+.2f%% from %s (limit ±%.0f%%)",
+			drift*100, path, benchDriftLimit*100)
+	}
+	fmt.Fprintf(stdout, "bench-cluster-compare: PASS (within ±%.0f%%)\n", benchDriftLimit*100)
 	return nil
 }

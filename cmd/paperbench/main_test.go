@@ -37,6 +37,8 @@ func TestInvalidInvocationsExitNonZero(t *testing.T) {
 		{"noMode", nil, "Usage"},
 		{"unknownFigure", []string{"-fig", "99"}, "unknown figure"},
 		{"zeroScale", []string{"-fig", "1", "-scale", "0"}, "-scale must be positive"},
+		{"negativeWorkers", []string{"-fig", "1", "-workers", "-1"}, "-workers must be non-negative"},
+		{"negativeClusterWorkers", []string{"-fig", "1", "-cluster-workers", "-2"}, "-cluster-workers must be non-negative"},
 		{"undefinedFlag", []string{"-no-such-flag"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -199,5 +201,45 @@ func TestBenchCompareAgainstFreshBaseline(t *testing.T) {
 	wrongScale := []string{"-bench-compare", path, "-scale", "0.05", "-workloads", "ra"}
 	if code, _, stderr := runCLI(t, wrongScale...); code == 0 || !strings.Contains(stderr, "scale") {
 		t.Fatalf("scale mismatch not rejected: %d %q", code, stderr)
+	}
+}
+
+// The cluster drift gate passes against a baseline it just generated
+// (at the baseline's own scale — no -scale agreement needed) and
+// rejects baselines without a cluster checksum.
+func TestBenchClusterCompareAgainstFreshBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	path := filepath.Join(t.TempDir(), "bench-cluster.json")
+	if code, stdout, stderr := runCLI(t, "-bench-cluster-json", path, "-scale", "0.05"); code != 0 {
+		t.Fatalf("bench-cluster-json failed: %d %q %q", code, stdout, stderr)
+	}
+	if code, stdout, stderr := runCLI(t, "-bench-cluster-compare", path); code != 0 || !strings.Contains(stdout, "PASS") {
+		t.Fatalf("bench-cluster-compare = %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	// A single-GPU baseline carries no cluster checksum and must be
+	// rejected with a pointer at -bench-cluster-json.
+	figPath := filepath.Join(t.TempDir(), "bench.json")
+	if code, _, stderr := runCLI(t, "-bench-json", figPath, "-scale", "0.02", "-workloads", "ra"); code != 0 {
+		t.Fatalf("bench-json failed: %d %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-bench-cluster-compare", figPath); code == 0 || !strings.Contains(stderr, "bench-cluster-json") {
+		t.Fatalf("checksum-free baseline not rejected: %d %q", code, stderr)
+	}
+}
+
+// -workers must bound sweep parallelism without changing results:
+// simulated sweeps are deterministic, so a single-worker run and the
+// default (one worker per core) must emit byte-identical CSV.
+func TestWorkersFlagPreservesSweepOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	base := []string{"-fig", "6", "-csv", "-scale", "0.02", "-workloads", "ra"}
+	_, defOut, _ := runCLI(t, base...)
+	_, oneOut, _ := runCLI(t, append(append([]string{}, base...), "-workers", "1")...)
+	if defOut == "" || defOut != oneOut {
+		t.Fatalf("-workers 1 changed sweep output:\ndefault:\n%s\nworkers=1:\n%s", defOut, oneOut)
 	}
 }

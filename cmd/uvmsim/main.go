@@ -48,6 +48,8 @@ type options struct {
 	workload    string
 	scale       float64
 	oversub     uint64
+	gpus        int
+	workers     int
 	arch        string
 	policy      string
 	ts          uint64
@@ -80,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.workload, "workload", "sssp", "workload name: "+strings.Join(uvmsim.AllWorkloads(), ", "))
 	fs.Float64Var(&o.scale, "scale", 1.0, "workload scale factor (1.0 = paper size)")
 	fs.Uint64Var(&o.oversub, "oversub", 125, "working set as % of device memory (100 = fits)")
+	fs.IntVar(&o.gpus, "gpus", 1, "cluster size: run the workload bulk-synchronously across this many GPUs (multi-GPU §VIII extension)")
+	fs.IntVar(&o.workers, "workers", 0, "cluster PDES worker threads with -gpus > 1 (0 or 1 = sequential; results are identical either way)")
 	fs.StringVar(&o.arch, "arch", "pascal", "architecture preset: pascal, volta")
 	fs.StringVar(&o.policy, "policy", "adaptive", "migration policy: disabled, always, oversub, adaptive")
 	fs.Uint64Var(&o.ts, "ts", 8, "static access counter threshold")
@@ -131,6 +135,15 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	if o.oversub == 0 {
 		return fmt.Errorf("-oversub must be positive, got 0")
 	}
+	if o.gpus < 1 {
+		return fmt.Errorf("-gpus must be at least 1, got %d", o.gpus)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
+	if o.gpus > 1 && (o.spans || o.jsonOut != "") {
+		return fmt.Errorf("-spans and -json apply to single-GPU runs only (got -gpus %d)", o.gpus)
+	}
 	cfg = cfg.WithPolicy(pol)
 	cfg.StaticThreshold = o.ts
 	cfg.Penalty = o.penalty
@@ -174,7 +187,11 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	} else {
 		b = uvmsim.BuildWorkload(o.workload, o.scale)
 	}
-	cfg = cfg.WithOversubscription(b.WorkingSet(), o.oversub)
+	// Each GPU of a cluster gets capacity for its 1/N share of the
+	// working set at the requested oversubscription, mirroring the
+	// multi-GPU harness (gpus=1 keeps the single-GPU sizing).
+	cfg = cfg.WithOversubscription(b.WorkingSet()/uint64(o.gpus), o.oversub)
+	cfg.ClusterWorkers = o.workers
 
 	// Open every output file before the simulation runs, so an
 	// unwritable path fails in milliseconds rather than after minutes of
@@ -214,48 +231,54 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	})
 	runName := fmt.Sprintf("%s/%v/%d%%", b.Name, cfg.Policy, o.oversub)
 
-	s := uvmsim.New(b, cfg)
-	s.Observe(suite.NewRun(runName))
-	res, err := runChecked(s)
-	if err != nil {
-		return err
-	}
-
-	c := res.Counters
-	if o.csv {
-		fmt.Fprintln(stdout, "metric,value")
-		for _, kv := range [][2]interface{}{
-			{"cycles", c.Cycles}, {"near_accesses", c.NearAccesses},
-			{"remote_reads", c.RemoteReads}, {"remote_writes", c.RemoteWrites},
-			{"far_faults", c.FarFaults}, {"fault_batches", c.FaultBatches},
-			{"migrated_pages", c.MigratedPages}, {"prefetched_pages", c.PrefetchedPages},
-			{"thrashed_pages", c.ThrashedPages}, {"evicted_pages", c.EvictedPages},
-			{"written_back_pages", c.WrittenBackPages},
-			{"tlb_hits", c.TLBHits}, {"tlb_misses", c.TLBMisses}, {"tlb_shootdowns", c.TLBShootdowns},
-			{"h2d_bytes", c.H2DBytes}, {"d2h_bytes", c.D2HBytes},
-			{"instructions", c.Instructions}, {"warps_retired", c.WarpsRetired},
-		} {
-			fmt.Fprintf(stdout, "%s,%v\n", kv[0], kv[1])
-		}
-	} else {
-		fmt.Fprintln(stdout, c.String())
-	}
-	if o.spans {
-		for _, sp := range res.Spans {
-			fmt.Fprintf(stdout, "kernel %-24s iter %2d  [%12d .. %12d]  %d cycles\n",
-				sp.Name, sp.Iter, sp.Start, sp.End, sp.End-sp.Start)
-		}
-	}
-	if o.jsonOut != "" {
-		rec := resultio.FromResult(res, o.scale, o.oversub)
-		if o.metricsJSON != "" {
-			snap := suite.Collect()
-			rec.Metrics = &snap.Runs[0]
-		}
-		if err := resultio.Write(outs[o.jsonOut], rec); err != nil {
+	if o.gpus > 1 {
+		if err := simulateCluster(o, b, cfg, suite, runName, stdout); err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "wrote %s\n", o.jsonOut)
+	} else {
+		s := uvmsim.New(b, cfg)
+		s.Observe(suite.NewRun(runName))
+		res, err := runChecked(s)
+		if err != nil {
+			return err
+		}
+
+		c := res.Counters
+		if o.csv {
+			fmt.Fprintln(stdout, "metric,value")
+			for _, kv := range [][2]interface{}{
+				{"cycles", c.Cycles}, {"near_accesses", c.NearAccesses},
+				{"remote_reads", c.RemoteReads}, {"remote_writes", c.RemoteWrites},
+				{"far_faults", c.FarFaults}, {"fault_batches", c.FaultBatches},
+				{"migrated_pages", c.MigratedPages}, {"prefetched_pages", c.PrefetchedPages},
+				{"thrashed_pages", c.ThrashedPages}, {"evicted_pages", c.EvictedPages},
+				{"written_back_pages", c.WrittenBackPages},
+				{"tlb_hits", c.TLBHits}, {"tlb_misses", c.TLBMisses}, {"tlb_shootdowns", c.TLBShootdowns},
+				{"h2d_bytes", c.H2DBytes}, {"d2h_bytes", c.D2HBytes},
+				{"instructions", c.Instructions}, {"warps_retired", c.WarpsRetired},
+			} {
+				fmt.Fprintf(stdout, "%s,%v\n", kv[0], kv[1])
+			}
+		} else {
+			fmt.Fprintln(stdout, c.String())
+		}
+		if o.spans {
+			for _, sp := range res.Spans {
+				fmt.Fprintf(stdout, "kernel %-24s iter %2d  [%12d .. %12d]  %d cycles\n",
+					sp.Name, sp.Iter, sp.Start, sp.End, sp.End-sp.Start)
+			}
+		}
+		if o.jsonOut != "" {
+			rec := resultio.FromResult(res, o.scale, o.oversub)
+			if o.metricsJSON != "" {
+				snap := suite.Collect()
+				rec.Metrics = &snap.Runs[0]
+			}
+			if err := resultio.Write(outs[o.jsonOut], rec); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", o.jsonOut)
+		}
 	}
 	if o.metricsJSON != "" {
 		if err := suite.WriteMetricsJSON(outs[o.metricsJSON]); err != nil {
@@ -275,6 +298,58 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 		fmt.Fprintf(stderr, "wrote %s\n", o.traceOut)
 	}
 	return nil
+}
+
+// simulateCluster runs the workload bulk-synchronously across o.gpus
+// GPUs — sequentially, or under the conservative-PDES coordinator when
+// -workers > 1 (the two modes produce byte-identical results) — and
+// prints the aggregate makespan plus per-GPU metrics.
+func simulateCluster(o options, b *uvmsim.Workload, cfg uvmsim.Config, suite *obs.Suite, runName string, stdout io.Writer) error {
+	cl := uvmsim.NewCluster(b, cfg, o.gpus)
+	cl.Observe(func(idx int) *obs.Run {
+		return suite.NewRun(fmt.Sprintf("%s/gpu%d", runName, idx))
+	})
+	res, err := runClusterChecked(cl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cluster gpus=%d workers=%d makespan=%d thrashed_pages=%d remote_accesses=%d\n",
+		o.gpus, cl.Workers(), res.Cycles, res.TotalThrashedPages(), res.TotalRemoteAccesses())
+	if o.csv {
+		fmt.Fprintln(stdout, "gpu,metric,value")
+		for i := range res.PerGPU {
+			c := &res.PerGPU[i]
+			for _, kv := range [][2]interface{}{
+				{"cycles", c.Cycles}, {"far_faults", c.FarFaults},
+				{"migrated_pages", c.MigratedPages}, {"prefetched_pages", c.PrefetchedPages},
+				{"thrashed_pages", c.ThrashedPages}, {"evicted_pages", c.EvictedPages},
+				{"remote_reads", c.RemoteReads}, {"remote_writes", c.RemoteWrites},
+				{"h2d_bytes", c.H2DBytes}, {"d2h_bytes", c.D2HBytes},
+			} {
+				fmt.Fprintf(stdout, "%d,%s,%v\n", i, kv[0], kv[1])
+			}
+		}
+	} else {
+		for i := range res.PerGPU {
+			fmt.Fprintf(stdout, "gpu%d: %s\n", i, res.PerGPU[i].String())
+		}
+	}
+	return nil
+}
+
+// runClusterChecked mirrors runChecked for cluster runs: an invariant
+// violation from the cluster-wide sweep becomes an ordinary error.
+func runClusterChecked(cl *uvmsim.Cluster) (res *uvmsim.ClusterResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*obs.Violation); ok {
+				res, err = nil, v
+				return
+			}
+			panic(r)
+		}
+	}()
+	return cl.Run(), nil
 }
 
 // runChecked runs the simulation, converting an invariant-checker

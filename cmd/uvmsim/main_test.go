@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,6 +47,11 @@ func TestInvalidFlagValuesExitNonZero(t *testing.T) {
 		{"unknownReplacement", []string{"-replacement", "mru"}, "unknown replacement"},
 		{"unknownPrefetcher", []string{"-prefetcher", "oracle"}, "unknown prefetcher"},
 		{"unknownGranularity", []string{"-granularity", "4k"}, "unknown eviction granularity"},
+		{"zeroGPUs", []string{"-gpus", "0"}, "-gpus must be at least 1"},
+		{"negativeGPUs", []string{"-gpus", "-2"}, "-gpus must be at least 1"},
+		{"negativeWorkers", []string{"-workers", "-1"}, "-workers must be non-negative"},
+		{"spansOnCluster", []string{"-gpus", "2", "-spans"}, "single-GPU runs only"},
+		{"jsonOnCluster", []string{"-gpus", "2", "-json", "out.json"}, "single-GPU runs only"},
 		{"undefinedFlag", []string{"-no-such-flag"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -160,6 +166,37 @@ func TestTraceJSONLOutput(t *testing.T) {
 	var first map[string]interface{}
 	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
 		t.Fatalf("JSONL line 1: %v", err)
+	}
+}
+
+// A cluster run must print the aggregate makespan line and one stats
+// line per GPU, and the PDES mode (-workers) must print exactly the
+// same simulation results as the sequential default.
+func TestClusterRunOutputsAndWorkerEquivalence(t *testing.T) {
+	args := []string{"-workload", "ra", "-scale", "0.05", "-gpus", "4", "-oversub", "125"}
+	code, seq, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(seq, "cluster gpus=4 workers=1") {
+		t.Fatalf("missing cluster header:\n%s", seq)
+	}
+	for i := 0; i < 4; i++ {
+		if !strings.Contains(seq, fmt.Sprintf("gpu%d:", i)) {
+			t.Fatalf("missing gpu%d stats line:\n%s", i, seq)
+		}
+	}
+	code, par, stderr := runCLI(t, append(args, "-workers", "2")...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(par, "cluster gpus=4 workers=2") {
+		t.Fatalf("missing PDES cluster header:\n%s", par)
+	}
+	// Everything except the reported worker count — makespan, totals and
+	// every per-GPU counter — must match byte for byte.
+	if got := strings.ReplaceAll(par, "workers=2", "workers=1"); got != seq {
+		t.Fatalf("PDES output diverged from sequential:\nsequential:\n%s\nparallel:\n%s", seq, par)
 	}
 }
 

@@ -7,7 +7,11 @@
 // (bulk-synchronous execution); every GPU has its own device memory and
 // PCIe link, and its Adaptive threshold responds to local occupancy.
 //
-//	go run ./examples/multigpu-throttling [-workload ra] [-oversub 125]
+// With -cluster-workers N > 1 each cluster runs under the conservative
+// parallel discrete-event coordinator (DESIGN.md §12); the results are
+// byte-identical to the sequential default, only wall clock changes.
+//
+//	go run ./examples/multigpu-throttling [-workload ra] [-oversub 125] [-cluster-workers 4]
 package main
 
 import (
@@ -21,6 +25,7 @@ func main() {
 	workload := flag.String("workload", "ra", "collaborative workload")
 	oversub := flag.Uint64("oversub", 125, "per-GPU working-set share as % of per-GPU memory")
 	scale := flag.Float64("scale", 0.4, "workload scale factor")
+	clusterWorkers := flag.Int("cluster-workers", 0, "PDES worker threads per cluster run (0 or 1 = sequential; results are identical either way)")
 	flag.Parse()
 
 	fmt.Printf("=== %s across GPU clusters at %d%% per-GPU oversubscription ===\n\n", *workload, *oversub)
@@ -32,6 +37,7 @@ func main() {
 		for _, pol := range []uvmsim.MigrationPolicy{uvmsim.PolicyDisabled, uvmsim.PolicyAdaptive} {
 			cfg := uvmsim.DefaultConfig()
 			cfg.Penalty = 8
+			cfg.ClusterWorkers = *clusterWorkers
 			res := uvmsim.RunCluster(*workload, *scale, n, *oversub, pol, cfg)
 			if pol == uvmsim.PolicyDisabled {
 				baseCycles = res.Cycles

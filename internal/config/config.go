@@ -205,6 +205,15 @@ type Config struct {
 	// pipeline stages by registry name. The zero value keeps the
 	// built-in stages selected by Policy/Replacement/Prefetcher.
 	MMPipeline PipelineSpec
+
+	// ClusterWorkers bounds the worker threads a multi-GPU cluster run
+	// may use for conservative parallel discrete-event simulation
+	// (internal/multigpu): each GPU+driver node gets its own engine and
+	// nodes advance concurrently up to a lookahead-derived horizon.
+	// Results are byte-identical to the sequential path for every value.
+	// 0 or 1 selects the sequential single-engine path; values above
+	// the cluster size are clamped to it. Single-GPU runs ignore it.
+	ClusterWorkers int
 }
 
 // Default returns the boldface configuration of Table I: a Pascal-like
@@ -326,6 +335,8 @@ func (c Config) Validate() error {
 		return errors.New("config: StaticThreshold must be at least 1")
 	case c.Penalty == 0:
 		return errors.New("config: Penalty must be at least 1")
+	case c.ClusterWorkers < 0:
+		return errors.New("config: ClusterWorkers must be non-negative")
 	}
 	if c.EvictionGranularity != memunits.ChunkSize && c.EvictionGranularity != memunits.BlockSize {
 		return fmt.Errorf("config: EvictionGranularity %d must be 2MB or 64KB", c.EvictionGranularity)

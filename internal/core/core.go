@@ -120,13 +120,21 @@ func Run(b *workloads.Built, cfg config.Config) *Result {
 // source of the workload-to-config plumbing shared by the single-GPU
 // and multi-GPU entry points.
 func PrepareWorkload(name string, scale float64, shares int, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) (*workloads.Built, config.Config) {
+	b := workloads.MustGet(name)(scale)
+	return b, DeriveConfig(b, shares, oversubPercent, pol, base)
+}
+
+// DeriveConfig is the configuration half of PrepareWorkload, split out
+// so callers holding an already-built (possibly memoized and shared)
+// workload can derive per-cell configurations without rebuilding it.
+// A Built is immutable once constructed, so one instance may back any
+// number of concurrent runs, each with its own derived config.
+func DeriveConfig(b *workloads.Built, shares int, oversubPercent uint64, pol config.MigrationPolicy, base config.Config) config.Config {
 	if shares < 1 {
 		panic(fmt.Sprintf("core: invalid share count %d", shares))
 	}
-	b := workloads.MustGet(name)(scale)
 	ws := b.WorkingSet() / uint64(shares)
-	cfg := base.WithPolicy(pol).WithOversubscription(ws, oversubPercent)
-	return b, cfg
+	return base.WithPolicy(pol).WithOversubscription(ws, oversubPercent)
 }
 
 // RunWorkload is the experiment-harness entry point: it builds the named

@@ -39,6 +39,11 @@ type Options struct {
 	// factory must be safe for concurrent calls — parallel sweeps invoke
 	// it from worker goroutines (obs.Suite.NewRun qualifies).
 	Observe func(runName string) *obs.Run
+
+	// memo caches workload builds within one sweep so cells sharing a
+	// (workload, scale) pair share one immutable Built instead of each
+	// rebuilding it (workloads.Memo is safe for the parallel workers).
+	memo *workloads.Memo
 }
 
 // withDefaults fills unset options.
@@ -51,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = workloads.Names()
+	}
+	if o.memo == nil {
+		o.memo = workloads.NewMemo()
 	}
 	return o
 }
@@ -71,7 +79,10 @@ func (o Options) runtimeOf(name string, pct uint64, pol config.MigrationPolicy, 
 		}
 		r = o.Observe(runName)
 	}
-	return core.RunWorkloadObs(name, o.Scale, pct, pol, base, r)
+	b := o.memo.Get(name, o.Scale)
+	s := core.New(b, core.DeriveConfig(b, 1, pct, pol, base))
+	s.Observe(r)
+	return s.Run()
 }
 
 // grid evaluates one simulation per (workload, column) pair in parallel.
@@ -118,8 +129,8 @@ type TraceResult struct {
 // effects). sampleEvery controls Fig. 3 sampling density.
 func RunTrace(workload string, o Options, sampleEvery uint64) *TraceResult {
 	o = o.withDefaults()
-	b := workloads.MustGet(workload)(o.Scale)
-	cfg := o.Base.WithPolicy(config.PolicyDisabled).WithOversubscription(b.WorkingSet(), 100)
+	b := o.memo.Get(workload, o.Scale)
+	cfg := core.DeriveConfig(b, 1, 100, config.PolicyDisabled, o.Base)
 	s := core.New(b, cfg)
 	if o.Observe != nil {
 		s.Observe(o.Observe(workload + "/trace"))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"uvmsim/internal/config"
+	"uvmsim/internal/core"
 	"uvmsim/internal/multigpu"
 	"uvmsim/internal/report"
 )
@@ -27,11 +28,12 @@ func MultiGPU(workload string, o Options, oversubPercent uint64) *report.Table {
 		Metric:  "Adaptive makespan and thrash normalized to same-size baseline cluster",
 		Columns: []string{"Runtime", "Thrash", "BaselineThrashPages"},
 	}
+	b := o.memo.Get(workload, o.Scale)
 	for _, n := range MultiGPUClusterSizes {
-		base := multigpu.RunWorkload(workload, o.Scale, n, oversubPercent, config.PolicyDisabled, o.Base)
+		base := multigpu.New(b, core.DeriveConfig(b, n, oversubPercent, config.PolicyDisabled, o.Base), n).Run()
 		cfg := o.Base
 		cfg.Penalty = 8
-		adpt := multigpu.RunWorkload(workload, o.Scale, n, oversubPercent, config.PolicyAdaptive, cfg)
+		adpt := multigpu.New(b, core.DeriveConfig(b, n, oversubPercent, config.PolicyAdaptive, cfg), n).Run()
 		t.Add(fmt.Sprintf("%s x%d", workload, n),
 			report.Ratio(adpt.Cycles, base.Cycles),
 			report.Ratio(adpt.TotalThrashedPages(), base.TotalThrashedPages()),

@@ -83,3 +83,16 @@ func (r *ring) constConcatOK() string {
 	const pre = "a"
 	return pre + "b" // constant-folded: no run-time allocation
 }
+
+// chanSyncOK is the PDES coordinator's worker-loop shape: ranging over
+// a command channel and handing back struct{}{} completion tokens.
+// Channel operations and bare struct composite-literal *values* (not
+// slice/map literals, not address-of) allocate nothing and stay clean.
+//
+//sim:hotpath
+func (r *ring) chanSyncOK(cmd chan uint64, done chan struct{}) {
+	for v := range cmd {
+		r.buf[0] = v
+		done <- struct{}{}
+	}
+}

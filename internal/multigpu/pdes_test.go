@@ -1,0 +1,141 @@
+package multigpu
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/obs"
+)
+
+// clusterCSV renders a cluster result as CSV, one row per GPU with every
+// counter field; byte equality of two renderings is the equivalence
+// criterion the PDES mode promises.
+func clusterCSV(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan,%d\n", r.Cycles)
+	for i := range r.PerGPU {
+		fmt.Fprintf(&b, "gpu%d,%+v\n", i, r.PerGPU[i])
+	}
+	return b.String()
+}
+
+// Property: for randomized workload/scale/policy draws, every GPU count
+// in 1..8 and every worker count in {1, 2, GOMAXPROCS}, the PDES
+// cluster produces byte-identical stats/CSV output to the sequential
+// shared-engine cluster (which worker<=1 falls back to). The built
+// workload is shared across all runs of a trial, doubling as a
+// concurrent-sharing check under -race.
+func TestClusterParallelEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5EED))
+	names := []string{"bfs", "ra", "sssp"}
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	trials := 5
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		name := names[rng.Intn(len(names))]
+		nGPUs := 1 + rng.Intn(8)
+		scale := 0.04 + 0.04*rng.Float64()
+		pol := config.Policies()[rng.Intn(len(config.Policies()))]
+		b, cfg := core.PrepareWorkload(name, scale, nGPUs, 125, pol, config.Default())
+		want := clusterCSV(New(b, cfg, nGPUs).Run())
+		for _, w := range workerCounts {
+			pcfg := cfg
+			pcfg.ClusterWorkers = w
+			cl := New(b, pcfg, nGPUs)
+			if got := clusterCSV(cl.Run()); got != want {
+				t.Fatalf("trial %d (%s x%d scale=%.3f %v) with %d workers diverged:\n got: %s\nwant: %s",
+					trial, name, nGPUs, scale, pol, w, got, want)
+			}
+		}
+	}
+}
+
+// The cluster-wide engine metrics (sim.cycles, sim.events_fired) and the
+// invariant-sweep machinery must agree between modes: the PDES run fires
+// exactly the union of the sequential run's events and stops on the same
+// barrier clock.
+func TestParallelObservabilityMatchesSequential(t *testing.T) {
+	const nGPUs = 4
+	b, cfg := core.PrepareWorkload("ra", testScale, nGPUs, 125, config.PolicyAdaptive, config.Default())
+
+	collect := func(workers int) (map[string]uint64, *Result) {
+		c := cfg
+		c.ClusterWorkers = workers
+		cl := New(b, c, nGPUs)
+		runs := make([]*obs.Run, 0, nGPUs)
+		cl.Observe(func(idx int) *obs.Run {
+			r := obs.Options{Metrics: true, CheckEvery: 50_000}.NewRun(fmt.Sprintf("gpu%d", idx))
+			runs = append(runs, r)
+			return r
+		})
+		res := cl.Run()
+		snap := runs[0].Collect()
+		return snap.Counters, res
+	}
+
+	seq, seqRes := collect(1)
+	par, parRes := collect(nGPUs)
+	if clusterCSV(seqRes) != clusterCSV(parRes) {
+		t.Fatalf("observed runs diverged:\n%s\n%s", clusterCSV(seqRes), clusterCSV(parRes))
+	}
+	for _, key := range []string{"sim.cycles", "sim.events_fired"} {
+		if seq[key] != par[key] {
+			t.Errorf("%s: sequential %d, parallel %d", key, seq[key], par[key])
+		}
+	}
+	for _, key := range []string{obs.MetricPDESSteps, obs.MetricPDESWorkers, obs.MetricPDESLookahead} {
+		if par[key] == 0 {
+			t.Errorf("parallel run did not publish %s", key)
+		}
+	}
+	if _, ok := seq[obs.MetricPDESSteps]; ok {
+		t.Errorf("sequential run published PDES metrics")
+	}
+}
+
+// ClusterWorkers plumbing: <=1 (and single-GPU clusters) fall back to
+// the shared-engine path, larger values clamp to the cluster size.
+func TestClusterWorkerSelection(t *testing.T) {
+	b, cfg := core.PrepareWorkload("bfs", 0.05, 2, 125, config.PolicyDisabled, config.Default())
+	cases := []struct {
+		workers, gpus, want int
+	}{
+		{0, 2, 1},
+		{1, 2, 1},
+		{2, 2, 2},
+		{8, 2, 2}, // clamped to cluster size
+		{4, 1, 1}, // single GPU is always sequential
+	}
+	for _, tc := range cases {
+		c := cfg
+		c.ClusterWorkers = tc.workers
+		cl := New(b, c, tc.gpus)
+		if got := cl.Workers(); got != tc.want {
+			t.Errorf("ClusterWorkers=%d over %d GPUs: Workers() = %d, want %d",
+				tc.workers, tc.gpus, got, tc.want)
+		}
+		if (cl.par != nil) != (tc.want > 1) {
+			t.Errorf("ClusterWorkers=%d over %d GPUs: PDES mode = %v", tc.workers, tc.gpus, cl.par != nil)
+		}
+	}
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		c := cfg
+		c.ClusterWorkers = -1
+		New(b, c, 2)
+		return nil
+	}(); err == nil {
+		t.Error("negative ClusterWorkers did not fail validation")
+	}
+}

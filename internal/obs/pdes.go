@@ -1,0 +1,26 @@
+package obs
+
+// Metric names published by the conservative-PDES cluster coordinator
+// (internal/multigpu/pdes.go). They live here so the observability
+// layer documents one canonical name space and consumers (dashboards,
+// tests) need not hard-code strings scattered across packages.
+const (
+	// MetricPDESSteps counts completed horizon rounds: each round picks
+	// a safe horizon (min next event + lookahead) and advances every
+	// node engine to it concurrently.
+	MetricPDESSteps = "pdes.steps"
+	// MetricPDESHorizonStalls counts node-rounds spent idle at a
+	// horizon: the node had no event at or before it and waited for the
+	// barrier. High stall counts mean the nodes' event streams are
+	// skewed relative to the lookahead window.
+	MetricPDESHorizonStalls = "pdes.horizon_stalls"
+	// MetricPDESWorkers is the worker-thread count the run used.
+	MetricPDESWorkers = "pdes.workers"
+	// MetricPDESLookahead is the safe-horizon extension in cycles (the
+	// host-memory round trip derived from the interconnect model).
+	MetricPDESLookahead = "pdes.lookahead_cycles"
+	// MetricPDESEfficiency is the busy fraction of node-rounds,
+	// 1 - stalls/(steps*nodes): the deterministic (wall-clock-free)
+	// parallel-efficiency proxy of the run.
+	MetricPDESEfficiency = "pdes.parallel_efficiency"
+)

@@ -1,0 +1,59 @@
+// Horizon-bounded stepping primitives for conservative parallel
+// discrete-event simulation (PDES).
+//
+// A PDES coordinator (internal/multigpu) runs one Engine per model
+// partition and advances them concurrently up to a safe horizon derived
+// from the model's lookahead. The primitives here differ from RunUntil
+// in one crucial way: they never pad the clock. RunUntil advances Now to
+// the deadline even when no event fires there, which is what a
+// standalone simulation wants, but a coordinator must observe each
+// partition's *last event time* to reproduce the sequential barrier
+// (the max over partitions) exactly. DrainUntil leaves Now at the last
+// fired event; AdvanceTo then aligns all partitions on the agreed
+// barrier before the next launch.
+package sim
+
+// NextEventAt returns the timestamp of the earliest pending event, with
+// ok=false when the engine is drained. Canceled entries at the head of
+// the queue are discarded without advancing the clock, so the returned
+// time is always the timestamp the next Step would fire at. PDES
+// coordinators use the minimum across engines to compute the safe
+// horizon (min next event + lookahead).
+//
+//sim:hotpath
+func (e *Engine) NextEventAt() (Cycle, bool) { return e.headAt() }
+
+// DrainUntil fires every event with timestamp <= deadline and reports
+// whether events remain pending beyond it. Unlike RunUntil it does NOT
+// pad the clock to the deadline: Now is left at the last fired event
+// (or untouched when nothing fired), preserving the engine's "time of
+// last activity" for barrier computation. The deadline may lie in the
+// past; nothing fires and nothing changes.
+//
+//sim:hotpath
+func (e *Engine) DrainUntil(deadline Cycle) bool {
+	for {
+		at, ok := e.headAt()
+		if !ok || at > deadline {
+			break
+		}
+		e.Step()
+	}
+	return e.live > 0
+}
+
+// AdvanceTo moves the clock forward to at without firing anything; it is
+// a no-op when at <= Now. PDES coordinators use it to align every
+// partition on the kernel barrier (the max last-event time across
+// partitions) before the next bulk-synchronous launch, mirroring how a
+// single shared engine's clock already sits at the barrier when the
+// launches are scheduled. Scheduling semantics are unaffected: events
+// scheduled after AdvanceTo(b) simply may not precede cycle b, exactly
+// as on the shared engine.
+//
+//sim:hotpath
+func (e *Engine) AdvanceTo(at Cycle) {
+	if at > e.now {
+		e.now = at
+	}
+}

@@ -1,0 +1,53 @@
+package workloads
+
+import "sync"
+
+// Memo caches Built workloads per (name, scale) so a figure sweep
+// builds each workload graph/trace once and shares the immutable Built
+// across every cell instead of rebuilding per cell.
+//
+// Sharing is safe because a Built never changes after construction:
+// the allocation space is read-only once sized, the kernel closures
+// capture only immutable inputs (index slices, bitmaps, CSR arrays),
+// and every per-run mutable object (warp state, driver, device memory)
+// is created by the simulator, not the workload. Deterministic seeds
+// are baked into each factory, so (name, scale) fully identifies the
+// build — there is no external seed dimension to key on.
+//
+// Get is safe for concurrent use by parallel sweep workers. The build
+// itself runs under the memo lock: concurrent first requests for the
+// same key would otherwise race to build duplicate graphs, and a
+// workload build is cheap next to the simulations that share it.
+type Memo struct {
+	mu sync.Mutex
+	m  map[memoKey]*Built
+}
+
+type memoKey struct {
+	name  string
+	scale float64
+}
+
+// NewMemo returns an empty workload cache.
+func NewMemo() *Memo { return &Memo{m: make(map[memoKey]*Built)} }
+
+// Get returns the cached Built for (name, scale), building and caching
+// it on first request. Unknown names panic exactly as MustGet does.
+func (m *Memo) Get(name string, scale float64) *Built {
+	key := memoKey{name: name, scale: scale}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b, ok := m.m[key]; ok {
+		return b
+	}
+	b := MustGet(name)(scale)
+	m.m[key] = b
+	return b
+}
+
+// Len reports how many distinct (name, scale) builds the memo holds.
+func (m *Memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -1,0 +1,69 @@
+package workloads_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/workloads"
+)
+
+// The memo must hand out one Built per (name, scale) and distinct
+// Builts across keys, including under concurrent first requests.
+func TestMemoCachesPerNameAndScale(t *testing.T) {
+	m := workloads.NewMemo()
+	const workers = 8
+	got := make([]*workloads.Built, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = m.Get("bfs", 0.05)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent Get built %d distinct instances", workers)
+		}
+	}
+	if m.Get("bfs", 0.1) == got[0] {
+		t.Fatal("different scale returned the same Built")
+	}
+	if m.Get("ra", 0.05) == got[0] {
+		t.Fatal("different workload returned the same Built")
+	}
+	if n := m.Len(); n != 3 {
+		t.Fatalf("memo holds %d builds, want 3", n)
+	}
+}
+
+// Proof that concurrent cells can share one memoized Built safely: N
+// simulations over the same instance, run under -race in CI, must all
+// produce the counters a private build produces. A Built is immutable
+// after construction, so sharing cannot change results.
+func TestMemoSharedBuiltConcurrentRuns(t *testing.T) {
+	const runs = 4
+	b := workloads.NewMemo().Get("sssp", 0.05)
+	cfg := core.DeriveConfig(b, 1, 125, config.PolicyAdaptive, config.Default())
+	results := make([]*core.Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = core.Run(b, cfg)
+		}(i)
+	}
+	wg.Wait()
+	private := core.Run(workloads.MustGet("sssp")(0.05), cfg)
+	for i, r := range results {
+		if !reflect.DeepEqual(r.Counters, private.Counters) {
+			t.Errorf("shared run %d diverged from private build:\nshared:  %+v\nprivate: %+v",
+				i, r.Counters, private.Counters)
+		}
+	}
+}
