@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke
+.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke cover tournament tournament-smoke
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -88,6 +88,25 @@ bench-smoke:
 figures:
 	$(GO) run ./cmd/paperbench -fig all
 
+# Regenerate the committed pipeline-tournament leaderboard: every
+# registered planner over the default workload matrix (bfs, ra, sssp)
+# at 125% oversubscription. Deterministic — reruns produce an identical
+# file, so a diff here is a behaviour change, not noise.
+tournament:
+	$(GO) run ./cmd/paperbench -tournament -scale 0.3 -tournament-out BENCH_tournament.json
+
+# Fast tournament slice for CI: two planners (static vs learned) over
+# two workloads at a small scale, proving the harness end to end
+# without the full matrix cost.
+tournament-smoke:
+	$(GO) run ./cmd/paperbench -tournament -scale 0.05 -workloads bfs,ra \
+		-tournament-planners threshold,reuse-dist -tournament-out -
+
+# Per-package coverage floor (70%) for the learned-policy surface: the
+# mm pipeline and the learn primitives it builds on.
+cover:
+	./scripts/cover.sh
+
 check: vet lint test
 
 # End-to-end smoke: a small sweep with the full observability surface on
@@ -100,6 +119,7 @@ smoke:
 	grep -q '"runs"' /tmp/uvmsim-smoke-metrics.json
 
 # What CI runs (.github/workflows/ci.yml): vet + simlint + staticcheck
-# + govulncheck, build, race-detected tests, the observability smoke,
-# then the bench-smoke drift gate.
-ci: vet lint staticcheck govulncheck build race smoke bench-smoke
+# + govulncheck, build, race-detected tests, the coverage floor, the
+# observability smoke, the tournament smoke, then the bench-smoke
+# drift gate.
+ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke bench-smoke

@@ -43,6 +43,7 @@ import (
 
 	"uvmsim"
 	"uvmsim/internal/cliutil"
+	"uvmsim/internal/experiments"
 	"uvmsim/internal/mm"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/plot"
@@ -69,6 +70,12 @@ type options struct {
 
 	benchClusterJSON    string
 	benchClusterCompare string
+
+	tournament            bool
+	tournamentOut         string
+	tournamentOversub     uint64
+	tournamentPlanners    string
+	tournamentPrefetchers string
 
 	metricsJSON     string
 	traceOut        string
@@ -106,6 +113,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
 	fs.StringVar(&o.benchClusterJSON, "bench-cluster-json", "", "run the multi-GPU cluster benchmark (sequential vs PDES) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchClusterCompare, "bench-cluster-compare", "", "re-run the cluster benchmark at the baseline's own scale and fail if its makespan drifts >2% from this file")
+	fs.BoolVar(&o.tournament, "tournament", false, "run the pipeline tournament: rank every planner x prefetch-governor combination by total simulated cycles over the workload matrix")
+	fs.StringVar(&o.tournamentOut, "tournament-out", "", "with -tournament, also write the leaderboard as a versioned JSON suite to this file ('-' for stdout)")
+	fs.Uint64Var(&o.tournamentOversub, "tournament-oversub", 125, "with -tournament, working set as % of device memory per cell")
+	fs.StringVar(&o.tournamentPlanners, "tournament-planners", "", "with -tournament, comma-separated planner subset (default: "+strings.Join(experiments.DefaultTournamentPlanners(), ",")+")")
+	fs.StringVar(&o.tournamentPrefetchers, "tournament-prefetchers", "", "with -tournament, comma-separated prefetch-governor subset ('default' = the built-in kind governor)")
 	fs.StringVar(&o.metricsJSON, "metrics-json", "", "write the observability metric registry of every simulation cell to this file as JSON ('-' for stdout)")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write cycle-stamped timeline traces to this file (.jsonl = compact JSONL, otherwise Chrome trace_event JSON)")
 	fs.Uint64Var(&o.traceSample, "trace-sample", 1, "keep one of every N trace spans (with -trace-out; 1 = all)")
@@ -114,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" &&
-		o.benchClusterJSON == "" && o.benchClusterCompare == "" {
+		o.benchClusterJSON == "" && o.benchClusterCompare == "" && !o.tournament {
 		fs.Usage()
 		return 2
 	}
@@ -261,6 +273,11 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 			return err
 		}
 	}
+	if o.tournament {
+		if err := runTournament(o, stdout, stderr); err != nil {
+			return err
+		}
+	}
 	if o.table1 {
 		fmt.Fprint(stdout, uvmsim.Table1(uvmsim.DefaultConfig()))
 		fmt.Fprintln(stdout)
@@ -365,6 +382,74 @@ func runFigures(fig string, csv, plotOut bool, sample uint64, opt uvmsim.Experim
 			return fmt.Errorf("unknown figure %q", f)
 		}
 	}
+	return nil
+}
+
+// runTournament ranks every requested planner x prefetch-governor
+// combination by total simulated cycles over the workload matrix,
+// printing the leaderboard (table, CSV or bar chart) and optionally
+// archiving it as a versioned JSON suite.
+func runTournament(o options, stdout, stderr io.Writer) error {
+	topt := uvmsim.TournamentOptions{
+		Options:        o.opt,
+		OversubPercent: o.tournamentOversub,
+	}
+	if o.tournamentPlanners != "" {
+		for _, p := range cliutil.SplitList(o.tournamentPlanners) {
+			name, err := cliutil.ParseComponentName("planner", p, mm.PlannerNames())
+			if err != nil {
+				return err
+			}
+			topt.Planners = append(topt.Planners, name)
+		}
+	}
+	if o.tournamentPrefetchers != "" {
+		for _, p := range cliutil.SplitList(o.tournamentPrefetchers) {
+			// "default" enters the built-in kind governor (empty registry
+			// name), letting it compete against named governors.
+			if p == "default" {
+				topt.Prefetchers = append(topt.Prefetchers, "")
+				continue
+			}
+			name, err := cliutil.ParseComponentName("prefetch governor", p, mm.PrefetchGovernorNames())
+			if err != nil {
+				return err
+			}
+			topt.Prefetchers = append(topt.Prefetchers, name)
+		}
+	}
+	res := uvmsim.Tournament(topt)
+	t := res.Table()
+	switch {
+	case o.csv:
+		fmt.Fprint(stdout, res.CSV())
+	case o.plotOut:
+		rows := make([]plot.NamedRow, len(t.Rows))
+		for i, r := range t.Rows {
+			rows[i] = plot.NamedRow{Label: r.Label, Values: r.Values}
+		}
+		fmt.Fprint(stdout, plot.GroupedBars(t.Title+"\n"+t.Metric, t.Columns, rows, 50))
+	default:
+		fmt.Fprint(stdout, t.Format())
+	}
+	fmt.Fprintln(stdout)
+	if o.tournamentOut == "" {
+		return nil
+	}
+	suite := res.Suite()
+	suite.GoVersion = runtime.Version()
+	if o.tournamentOut == "-" {
+		return resultio.WriteTournamentSuite(stdout, suite)
+	}
+	f, err := os.Create(o.tournamentOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := resultio.WriteTournamentSuite(f, suite); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", o.tournamentOut)
 	return nil
 }
 

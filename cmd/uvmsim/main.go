@@ -60,6 +60,11 @@ type options struct {
 	planner     string
 	evictor     string
 	batcher     string
+	pfgov       string
+
+	seed          uint64
+	banditEpsilon uint64
+	banditEpoch   uint64
 	graphFile   string
 	spans       bool
 	csv         bool
@@ -94,6 +99,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.planner, "planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
 	fs.StringVar(&o.evictor, "evictor", "", "eviction engine: "+strings.Join(mm.EvictorNames(), ", ")+" (default: configured replacement)")
 	fs.StringVar(&o.batcher, "batcher", "", "fault batcher: "+strings.Join(mm.BatcherNames(), ", ")+" (default: accumulate)")
+	fs.StringVar(&o.pfgov, "pf-governor", "", "prefetch governor: "+strings.Join(mm.PrefetchGovernorNames(), ", ")+" (default: the -prefetcher kind)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed for the learned pipeline stages (runs with equal seeds are byte-identical)")
+	fs.Uint64Var(&o.banditEpsilon, "bandit-epsilon", 10, "bandit exploration probability in percent (0 = never explore)")
+	fs.Uint64Var(&o.banditEpoch, "bandit-epoch", 0, "bandit learning epoch in simulated cycles (0 = built-in default)")
 	fs.StringVar(&o.graphFile, "graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
 	fs.BoolVar(&o.spans, "spans", false, "print per-kernel timing spans")
 	fs.BoolVar(&o.csv, "csv", false, "print metrics as CSV")
@@ -144,6 +153,9 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	if o.gpus > 1 && (o.spans || o.jsonOut != "") {
 		return fmt.Errorf("-spans and -json apply to single-GPU runs only (got -gpus %d)", o.gpus)
 	}
+	if o.banditEpsilon > 100 {
+		return fmt.Errorf("-bandit-epsilon is a percentage, got %d (want 0-100)", o.banditEpsilon)
+	}
 	cfg = cfg.WithPolicy(pol)
 	cfg.StaticThreshold = o.ts
 	cfg.Penalty = o.penalty
@@ -167,6 +179,12 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	if cfg.MMPipeline.Batcher, err = cliutil.ParseComponentName("batcher", o.batcher, mm.BatcherNames()); err != nil {
 		return err
 	}
+	if cfg.MMPipeline.Prefetcher, err = cliutil.ParseComponentName("prefetch governor", o.pfgov, mm.PrefetchGovernorNames()); err != nil {
+		return err
+	}
+	cfg.PolicySeed = o.seed
+	cfg.BanditEpsilonPct = o.banditEpsilon
+	cfg.BanditEpochCycles = o.banditEpoch
 
 	known := false
 	for _, w := range uvmsim.AllWorkloads() {

@@ -43,6 +43,7 @@ func TestInvalidFlagValuesExitNonZero(t *testing.T) {
 		{"zeroScale", []string{"-scale", "0"}, "-scale must be positive"},
 		{"negativeScale", []string{"-scale", "-1"}, "-scale must be positive"},
 		{"zeroOversub", []string{"-oversub", "0"}, "-oversub must be positive"},
+		{"epsilonOver100", []string{"-bandit-epsilon", "101"}, "-bandit-epsilon is a percentage"},
 		{"unknownWorkload", []string{"-workload", "nosuch"}, "unknown workload"},
 		{"unknownReplacement", []string{"-replacement", "mru"}, "unknown replacement"},
 		{"unknownPrefetcher", []string{"-prefetcher", "oracle"}, "unknown prefetcher"},

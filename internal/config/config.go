@@ -206,6 +206,24 @@ type Config struct {
 	// built-in stages selected by Policy/Replacement/Prefetcher.
 	MMPipeline PipelineSpec
 
+	// PolicySeed seeds the deterministic generators of the learned
+	// pipeline stages (internal/mm "reuse-dist", "bandit-ts",
+	// "bandit-pf"). Runs with equal seeds are byte-identical; zero is a
+	// valid seed (remapped internally to a fixed constant). The built-in
+	// static stages ignore it.
+	PolicySeed uint64
+	// BanditEpsilonPct is the exploration probability, in percent
+	// [0, 100], of the bandit-driven stages. Zero disables exploration
+	// entirely, collapsing bandit-ts to the static threshold planner it
+	// starts from (the epsilon=0 golden regression).
+	BanditEpsilonPct uint64
+	// BanditEpochCycles is the learning-epoch length in simulated core
+	// cycles: bandit-ts re-evaluates its arm once per epoch. Epochs are
+	// measured on simulated time only — never wall clock — so epoch
+	// boundaries are part of the reproducible run state. Zero selects
+	// the built-in default.
+	BanditEpochCycles uint64
+
 	// ClusterWorkers bounds the worker threads a multi-GPU cluster run
 	// may use for conservative parallel discrete-event simulation
 	// (internal/multigpu): each GPU+driver node gets its own engine and
@@ -250,6 +268,10 @@ func Default() Config {
 		StaticThreshold: 8,
 		Penalty:         2,
 		WriteMigrates:   true,
+
+		PolicySeed:        1,
+		BanditEpsilonPct:  10,
+		BanditEpochCycles: 2_000_000,
 	}
 }
 
@@ -337,6 +359,8 @@ func (c Config) Validate() error {
 		return errors.New("config: Penalty must be at least 1")
 	case c.ClusterWorkers < 0:
 		return errors.New("config: ClusterWorkers must be non-negative")
+	case c.BanditEpsilonPct > 100:
+		return fmt.Errorf("config: BanditEpsilonPct %d above 100", c.BanditEpsilonPct)
 	}
 	if c.EvictionGranularity != memunits.ChunkSize && c.EvictionGranularity != memunits.BlockSize {
 		return fmt.Errorf("config: EvictionGranularity %d must be 2MB or 64KB", c.EvictionGranularity)

@@ -1,0 +1,166 @@
+package learn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBanditGreedyPicksLowestMeanCost(t *testing.T) {
+	b := NewBandit(3, 0, 1)
+	b.Reward(0, 100, 10) // mean 10
+	b.Reward(1, 18, 3)   // mean 6
+	b.Reward(2, 7, 1)    // mean 7
+	if got := b.Select(); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestBanditGreedyTieBreaksToLowestIndex(t *testing.T) {
+	b := NewBandit(3, 0, 1)
+	b.Reward(1, 5, 1)
+	b.Reward(2, 5, 1)
+	if got := b.Select(); got != 1 {
+		t.Fatalf("tied Select = %d, want 1 (lowest pulled index)", got)
+	}
+}
+
+func TestBanditEpsilonZeroNeverLeavesArmZero(t *testing.T) {
+	// The epsilon=0 contract behind the golden regression: arm 0 is the
+	// initial arm, and without exploration no other arm is ever pulled,
+	// however bad arm 0's cost becomes.
+	b := NewBandit(4, 0, 99)
+	if got := b.Select(); got != 0 {
+		t.Fatalf("initial Select = %d, want 0", got)
+	}
+	for i := 0; i < 1000; i++ {
+		b.Reward(0, math.MaxUint64, 1) // saturating, maximally bad
+		if got := b.Select(); got != 0 {
+			t.Fatalf("Select after %d bad epochs = %d, want 0", i+1, got)
+		}
+	}
+	if b.Explores() != 0 {
+		t.Fatalf("epsilon=0 bandit explored %d times", b.Explores())
+	}
+}
+
+func TestBanditExplorationIsSeededAndDeterministic(t *testing.T) {
+	run := func(seed uint64) []int {
+		b := NewBandit(5, 50, seed)
+		var picks []int
+		for i := 0; i < 200; i++ {
+			arm := b.Select()
+			b.Reward(arm, uint64(arm)+1, 1)
+			picks = append(picks, arm)
+		}
+		return picks
+	}
+	a, bb := run(7), run(7)
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("same seed diverged at pull %d: %d vs %d", i, a[i], bb[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-pull sequences")
+	}
+}
+
+func TestBanditExplorationFindsBetterArm(t *testing.T) {
+	// Arm 2 is strictly cheapest; with exploration on, greedy pulls must
+	// converge to it.
+	b := NewBandit(3, 20, 3)
+	cost := []uint64{9, 5, 1}
+	last := -1
+	for i := 0; i < 500; i++ {
+		arm := b.Select()
+		b.Reward(arm, cost[arm], 1)
+		last = arm
+	}
+	_ = last
+	var best int
+	var bestPulls uint64
+	for i := 0; i < b.Arms(); i++ {
+		if b.Pulls(i) > bestPulls {
+			best, bestPulls = i, b.Pulls(i)
+		}
+	}
+	if best != 2 {
+		t.Fatalf("most-pulled arm = %d (pulls %v), want 2", best, []uint64{b.Pulls(0), b.Pulls(1), b.Pulls(2)})
+	}
+	if b.Explores() == 0 {
+		t.Fatal("bandit with epsilon=20%% never explored")
+	}
+}
+
+func TestBanditMeanComparisonIsExactAtLargeMagnitudes(t *testing.T) {
+	// Cross multiplication must not lose precision where float64 would:
+	// means 2^60/1 vs (2^60+1)/1 differ by 1 ulp-of-integer but compare
+	// exactly.
+	b := NewBandit(2, 0, 1)
+	b.Reward(0, 1<<60+1, 1)
+	b.Reward(1, 1<<60, 1)
+	if got := b.Select(); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+	if !meanLess(1<<60, 1, 1<<60+1, 1) {
+		t.Fatal("meanLess lost a unit at 2^60")
+	}
+	if meanLess(1<<60, 1, 1<<60, 1) {
+		t.Fatal("meanLess reported a strict inequality for equal means")
+	}
+}
+
+func TestBanditRewardSaturates(t *testing.T) {
+	b := NewBandit(1, 0, 1)
+	b.Reward(0, math.MaxUint64, math.MaxUint64)
+	b.Reward(0, 1, 1)
+	if b.Pulls(0) != math.MaxUint64 {
+		t.Fatalf("pulls wrapped to %d", b.Pulls(0))
+	}
+}
+
+func TestBanditConstructorValidation(t *testing.T) {
+	for _, tc := range []struct {
+		arms int
+		eps  uint64
+	}{{0, 10}, {3, 101}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBandit(%d, %d) did not panic", tc.arms, tc.eps)
+				}
+			}()
+			NewBandit(tc.arms, tc.eps, 1)
+		}()
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Next() == 0 && r.Next() == 0 {
+		t.Fatal("zero-seeded RNG is stuck at zero")
+	}
+	a, b := NewRNG(0), NewRNG(rngMixSeed)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("zero seed does not remap to the documented constant")
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

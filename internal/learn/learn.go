@@ -1,0 +1,60 @@
+// Package learn implements the online-learning primitives behind the
+// learned memory-management policies (internal/mm): a bounded
+// reuse-distance estimator fed by the miss stream, a discretized
+// epsilon-greedy bandit for threshold tuning, and the deterministic
+// seeded RNG both draw from.
+//
+// Everything in this package is deterministic by construction: state
+// evolves only from the caller-supplied input sequence and an explicit
+// seed, never from wall-clock time, map iteration order or the global
+// math/rand source. Two instances constructed with the same seed and
+// fed the same sequence are bit-identical — which is what lets learned
+// policies ride the repository's byte-identical determinism guarantee
+// (see DESIGN.md §13).
+//
+// Arithmetic is integer-only. The bandit compares mean costs through
+// 128-bit cross multiplication rather than floating-point division, so
+// arm selection cannot depend on platform FMA contraction.
+package learn
+
+// rngMixSeed replaces a zero seed: an xorshift state of zero is a fixed
+// point (the stream would be all zeros). The constant is the usual
+// splitmix64 golden-ratio increment.
+const rngMixSeed = 0x9E3779B97F4A7C15
+
+// RNG is a small deterministic xorshift64* generator. The zero value is
+// not usable; call NewRNG. It exists so learned policies never touch
+// the global math/rand source (banned by simlint's wallclock analyzer)
+// and so their draw sequence is part of the run's reproducible state.
+type RNG struct {
+	s uint64
+}
+
+// NewRNG returns a generator seeded with seed (a zero seed is remapped
+// to a fixed non-zero constant).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = rngMixSeed
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64-bit draw.
+func (r *RNG) Next() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a draw in [0, n). It panics when n is not positive. The
+// modulo bias is irrelevant at the arm counts and exploration rates the
+// policies use (n far below 2^32).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("learn: Intn on non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}

@@ -34,6 +34,7 @@ import (
 	"uvmsim/internal/memunits"
 	"uvmsim/internal/policy"
 	"uvmsim/internal/prefetch"
+	"uvmsim/internal/sim"
 )
 
 // Access describes one host-resident block access for the planner: the
@@ -50,12 +51,20 @@ type Access struct {
 	RoundTrips uint64
 	// Mem is the device-memory occupancy snapshot.
 	Mem policy.MemState
+	// Now is the simulated time of the access. Learned planners measure
+	// their epochs against it; basing any planner state on wall clock
+	// instead would break the byte-identical determinism guarantee.
+	Now sim.Cycle
 }
 
 // MigrationPlanner decides, per access to a non-resident block, whether
 // the block migrates to device memory or the access is served remotely
 // (zero-copy) from host memory. Implementations must be deterministic
-// pure functions of the Access and their own configuration.
+// functions of the Access sequence and their own configuration: the
+// built-in threshold planners are pure, while the learned planners
+// (reuse-dist, bandit-ts) carry state that evolves only from the
+// accesses they have seen and the configured seed — never from wall
+// clock or unseeded randomness.
 type MigrationPlanner interface {
 	// Name identifies the planner (registry key).
 	Name() string
@@ -142,6 +151,18 @@ type EvictionEngine interface {
 	// retries when in-flight work completes, or — if nothing is in
 	// flight — demotes the stalled migration to remote access.
 	EvictOne(h EvictionHost) bool
+}
+
+// MetricPublisher is optionally implemented by pipeline stages that
+// expose internal state to the observability layer (internal/obs). The
+// driver discovers it by type assertion when instruments attach and
+// registers a provider calling PublishMetrics at collection time, so
+// publication never perturbs simulated behaviour. Learned stages use it
+// to surface epoch counts, arm pulls and exploration draws.
+type MetricPublisher interface {
+	// PublishMetrics emits the stage's current metric values. Names
+	// should be dotted and stage-prefixed (e.g. "mm.bandit_ts.epochs").
+	PublishMetrics(emit func(name string, value uint64))
 }
 
 // Pipeline bundles one instance of every stage for one driver.

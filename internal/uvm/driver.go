@@ -513,6 +513,7 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 			Count:      count,
 			RoundTrips: d.ctrs.RoundTrips(uint64(b)),
 			Mem:        d.memState(),
+			Now:        now,
 		})
 	}
 	if !migrate {
