@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke cover tournament tournament-smoke
+.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -102,6 +102,21 @@ tournament-smoke:
 	$(GO) run ./cmd/paperbench -tournament -scale 0.05 -workloads bfs,ra \
 		-tournament-planners threshold,reuse-dist -tournament-out -
 
+# End-to-end smoke of the simd sweep service (cmd/simd, DESIGN.md §14):
+# an in-process server, a small bfs job submitted twice, hard assertions
+# that the resubmission is a pure cache hit with a byte-identical
+# payload and that the progress stream, cache stats and metrics
+# snapshot all agree with what ran.
+serve-smoke:
+	$(GO) run ./cmd/simd -smoke
+
+# Regenerate the committed sweep-service load baseline: cold
+# (simulating) vs warm (fully cached) phases over a mixed job set with
+# 8 concurrent clients. Hard-fails unless warm throughput is >=10x cold
+# and every warm payload is byte-identical to its cold counterpart.
+bench-serve:
+	$(GO) run ./cmd/paperbench -serve-load BENCH_serve.json -scale 0.05 -serve-clients 8
+
 # Per-package coverage floor (70%) for the learned-policy surface: the
 # mm pipeline and the learn primitives it builds on.
 cover:
@@ -120,6 +135,6 @@ smoke:
 
 # What CI runs (.github/workflows/ci.yml): vet + simlint + staticcheck
 # + govulncheck, build, race-detected tests, the coverage floor, the
-# observability smoke, the tournament smoke, then the bench-smoke
-# drift gate.
-ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke bench-smoke
+# observability smoke, the tournament smoke, the sweep-service smoke,
+# then the bench-smoke drift gate.
+ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke bench-smoke

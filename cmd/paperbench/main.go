@@ -71,6 +71,9 @@ type options struct {
 	benchClusterJSON    string
 	benchClusterCompare string
 
+	serveLoad    string
+	serveClients int
+
 	tournament            bool
 	tournamentOut         string
 	tournamentOversub     uint64
@@ -113,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
 	fs.StringVar(&o.benchClusterJSON, "bench-cluster-json", "", "run the multi-GPU cluster benchmark (sequential vs PDES) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchClusterCompare, "bench-cluster-compare", "", "re-run the cluster benchmark at the baseline's own scale and fail if its makespan drifts >2% from this file")
+	fs.StringVar(&o.serveLoad, "serve-load", "", "run the simd sweep-service load test (cold vs fully-cached warm phase) and write a versioned JSON report to this file ('-' for stdout)")
+	fs.IntVar(&o.serveClients, "serve-clients", 8, "with -serve-load, concurrent clients in the warm phase")
 	fs.BoolVar(&o.tournament, "tournament", false, "run the pipeline tournament: rank every planner x prefetch-governor combination by total simulated cycles over the workload matrix")
 	fs.StringVar(&o.tournamentOut, "tournament-out", "", "with -tournament, also write the leaderboard as a versioned JSON suite to this file ('-' for stdout)")
 	fs.Uint64Var(&o.tournamentOversub, "tournament-oversub", 125, "with -tournament, working set as % of device memory per cell")
@@ -126,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" &&
-		o.benchClusterJSON == "" && o.benchClusterCompare == "" && !o.tournament {
+		o.benchClusterJSON == "" && o.benchClusterCompare == "" && o.serveLoad == "" && !o.tournament {
 		fs.Usage()
 		return 2
 	}
@@ -270,6 +275,11 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 	}
 	if o.benchClusterCompare != "" {
 		if err := runBenchClusterCompare(o.benchClusterCompare, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.serveLoad != "" {
+		if err := runServeLoad(o.serveLoad, o.opt, o.serveClients, stdout, stderr); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"uvmsim"
+	"uvmsim/internal/experiments"
+	"uvmsim/internal/resultio"
+	"uvmsim/internal/serve"
+)
+
+// serveWarmSpeedup is the acceptance floor for the serve load test: the
+// warm (fully cached) phase must push cells at least this many times
+// faster than the cold (simulating) phase. Cache hits skip simulation
+// entirely, so in practice the ratio is orders of magnitude higher; a
+// value near 1 means the cache is not being hit at all.
+const serveWarmSpeedup = 10
+
+// serveLoadJobs is the mixed job set the load test drives: three
+// figure sweeps of different shapes plus a small pipeline tournament,
+// every one expressed through the same job mappings the CLIs use.
+func serveLoadJobs(opt uvmsim.ExperimentOptions) ([]serve.JobRequest, error) {
+	eo := opt
+	if len(eo.Workloads) == 0 {
+		eo.Workloads = []string{"bfs", "ra"}
+	}
+	var jobs []serve.JobRequest
+	for _, fig := range []string{"fig1", "fig5", "fig6"} {
+		req, err := experiments.FigureJob(fig, eo)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, req)
+	}
+	jobs = append(jobs, experiments.TournamentJob(experiments.TournamentOptions{
+		Options:  eo,
+		Planners: []string{"threshold", "thrash-guard"},
+	}))
+	return jobs, nil
+}
+
+// servePhase drives every (client, job) pair concurrently against the
+// server and returns the wall-clock elapsed time, the total cells
+// completed, the summed per-job latency, and the payload of each job as
+// seen by the first client (payload[j]).
+func servePhase(c *serve.Client, jobs []serve.JobRequest, clients int) (elapsed, jobLatency time.Duration, cells int, payloads [][]byte, err error) {
+	payloads = make([][]byte, len(jobs))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		for j := range jobs {
+			wg.Add(1)
+			go func(cl, j int) {
+				defer wg.Done()
+				t0 := time.Now()
+				st, payload, rerr := c.RunJob(jobs[j], nil)
+				lat := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				if rerr != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d job %d: %w", cl, j, rerr)
+					}
+					return
+				}
+				jobLatency += lat
+				cells += st.TotalCells
+				if cl == 0 {
+					payloads[j] = payload
+				}
+			}(cl, j)
+		}
+	}
+	wg.Wait()
+	return time.Since(start), jobLatency, cells, payloads, firstErr
+}
+
+// runServeLoad measures the sweep service under load: an in-process
+// simd server, a cold phase that simulates the mixed job set from an
+// empty cache, and a warm phase where `clients` concurrent clients
+// resubmit every job. It hard-fails unless every warm payload is
+// byte-identical to its cold counterpart and warm cell throughput is at
+// least serveWarmSpeedup times the cold throughput, then archives the
+// numbers as a versioned BenchSuite (the BENCH_serve.json baseline).
+func runServeLoad(path string, opt uvmsim.ExperimentOptions, clients int, stdout, stderr io.Writer) error {
+	if clients <= 0 {
+		clients = 8
+	}
+	jobs, err := serveLoadJobs(opt)
+	if err != nil {
+		return err
+	}
+	s := serve.NewServer(serve.Options{Workers: opt.Workers})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // shut down via Close below
+	defer srv.Close()
+	c := &serve.Client{BaseURL: "http://" + ln.Addr().String()}
+
+	fmt.Fprintf(stderr, "serve-load: cold phase, %d jobs on %s...\n", len(jobs), c.BaseURL)
+	coldElapsed, coldLat, coldCells, coldPayloads, err := servePhase(c, jobs, 1)
+	if err != nil {
+		return fmt.Errorf("cold phase: %w", err)
+	}
+
+	// The deterministic work metric: simulated cycles summed over the
+	// distinct cells of the job set — identical on every machine.
+	var simCycles uint64
+	for _, p := range coldPayloads {
+		doc, derr := serve.DecodeResult(p)
+		if derr != nil {
+			return fmt.Errorf("cold payload: %w", derr)
+		}
+		for _, cell := range doc.Cells {
+			simCycles += cell.Record.Counters.Cycles
+		}
+	}
+
+	coldStats, err := c.CacheStats()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stderr, "serve-load: warm phase, %d clients x %d jobs...\n", clients, len(jobs))
+	warmElapsed, warmLat, warmCells, warmPayloads, err := servePhase(c, jobs, clients)
+	if err != nil {
+		return fmt.Errorf("warm phase: %w", err)
+	}
+	for j := range jobs {
+		if !bytes.Equal(coldPayloads[j], warmPayloads[j]) {
+			return fmt.Errorf("job %d: warm payload differs from cold payload", j)
+		}
+	}
+	cs, err := c.CacheStats()
+	if err != nil {
+		return err
+	}
+	// Jobs in the set overlap (fig1's fitting baseline is also fig5's),
+	// so the cold phase records fewer misses than submitted cells; what
+	// the warm phase must prove is that it added none.
+	if cs.Misses != coldStats.Misses || cs.Entries != coldStats.Entries {
+		return fmt.Errorf("warm phase was not fully cached: misses %d -> %d, entries %d -> %d",
+			coldStats.Misses, cs.Misses, coldStats.Entries, cs.Entries)
+	}
+
+	coldRate := float64(coldCells) / coldElapsed.Seconds()
+	warmRate := float64(warmCells) / warmElapsed.Seconds()
+	speedup := warmRate / coldRate
+	fmt.Fprintf(stdout, "serve-load: cold %d cells in %v (%.1f cells/s), warm %d cells in %v (%.0f cells/s), speedup %.0fx\n",
+		coldCells, coldElapsed.Round(time.Millisecond), coldRate,
+		warmCells, warmElapsed.Round(time.Millisecond), warmRate, speedup)
+	if speedup < serveWarmSpeedup {
+		return fmt.Errorf("warm throughput only %.1fx cold (floor %dx): the cache is not doing its job", speedup, serveWarmSpeedup)
+	}
+
+	suite := &resultio.BenchSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      opt.Scale,
+		Workloads:  opt.Workloads,
+		Results: []resultio.BenchResult{
+			{
+				Name:       "ServeColdCells",
+				Iterations: coldCells,
+				NsPerOp:    float64(coldElapsed.Nanoseconds()) / float64(coldCells),
+				SimCycles:  simCycles,
+			},
+			{
+				Name:       "ServeWarmCells",
+				Iterations: warmCells,
+				NsPerOp:    float64(warmElapsed.Nanoseconds()) / float64(warmCells),
+				SimCycles:  simCycles,
+			},
+			{
+				Name:       "ServeColdJobs",
+				Iterations: len(jobs),
+				NsPerOp:    float64(coldLat.Nanoseconds()) / float64(len(jobs)),
+			},
+			{
+				Name:       "ServeWarmJobs",
+				Iterations: clients * len(jobs),
+				NsPerOp:    float64(warmLat.Nanoseconds()) / float64(clients*len(jobs)),
+			},
+		},
+	}
+	out := stdout
+	if path != "-" {
+		f, cerr := os.Create(path)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := resultio.WriteBenchSuite(out, suite); err != nil {
+		return err
+	}
+	// Re-read what we wrote: the archived baseline must round-trip
+	// through the versioned schema it claims to carry.
+	if path != "-" {
+		f, oerr := os.Open(path)
+		if oerr != nil {
+			return oerr
+		}
+		defer f.Close()
+		if _, err := resultio.ReadBenchSuite(f); err != nil {
+			return fmt.Errorf("%s failed schema validation after write: %w", path, err)
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", path)
+	}
+	return nil
+}

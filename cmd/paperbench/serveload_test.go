@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/resultio"
+)
+
+// The serve load test must pass its own acceptance gates end-to-end
+// (warm phase fully cached, byte-identical payloads, >=10x throughput)
+// and archive a schema-valid versioned suite.
+func TestServeLoadWritesValidSuite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	code, stdout, stderr := runCLI(t,
+		"-serve-load", path, "-scale", "0.05", "-workloads", "bfs", "-serve-clients", "2")
+	if code != 0 {
+		t.Fatalf("exited %d:\n%s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "speedup") {
+		t.Fatalf("missing throughput report:\n%s", stdout)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	suite, err := resultio.ReadBenchSuite(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Scale != 0.05 {
+		t.Fatalf("suite scale %v", suite.Scale)
+	}
+	byName := make(map[string]resultio.BenchResult)
+	for _, r := range suite.Results {
+		byName[r.Name] = r
+	}
+	cold, warm := byName["ServeColdCells"], byName["ServeWarmCells"]
+	if cold.Iterations == 0 || warm.Iterations == 0 {
+		t.Fatalf("suite missing cell phases: %+v", suite.Results)
+	}
+	if cold.SimCycles == 0 || cold.SimCycles != warm.SimCycles {
+		t.Fatalf("phases disagree on the deterministic cycle total: %d vs %d", cold.SimCycles, warm.SimCycles)
+	}
+	if cold.NsPerOp < warm.NsPerOp*serveWarmSpeedup {
+		t.Fatalf("warm cells not >=%dx faster: cold %.0fns vs warm %.0fns", serveWarmSpeedup, cold.NsPerOp, warm.NsPerOp)
+	}
+	if _, ok := byName["ServeColdJobs"]; !ok {
+		t.Fatal("suite missing job-latency results")
+	}
+}

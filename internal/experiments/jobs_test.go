@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"uvmsim/internal/serve"
+)
+
+func runJob(t *testing.T, req serve.JobRequest) (*serve.ResultDoc, serve.JobStatus) {
+	t.Helper()
+	ts := httptest.NewServer(serve.NewServer(serve.Options{Workers: 4}).Handler())
+	t.Cleanup(ts.Close)
+	c := &serve.Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	st, payload, err := c.RunJob(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := serve.DecodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, st
+}
+
+// The Fig6 job must simulate exactly the cells the in-process Fig6And7
+// sweep does: the summed simulated cycles across the job's cells must
+// equal the sweep's deterministic cycle total.
+func TestFig6JobMatchesInProcessSweep(t *testing.T) {
+	o := Options{Scale: 0.05, Workloads: []string{"bfs", "ra"}}
+	_, _, want := Fig6And7Cycles(o)
+
+	req, err := FigureJob("fig6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, st := runJob(t, req)
+	if st.TotalCells != 8 {
+		t.Fatalf("fig6 job expanded to %d cells, want 2 workloads x 4 policies", st.TotalCells)
+	}
+	var got uint64
+	for _, cell := range doc.Cells {
+		got += cell.Record.Counters.Cycles
+	}
+	if got != want {
+		t.Fatalf("job cycles %d != in-process sweep cycles %d", got, want)
+	}
+}
+
+// Every mapped figure must expand to the sweep shape its FigN function
+// simulates.
+func TestFigureJobShapes(t *testing.T) {
+	o := Options{Scale: 0.05, Workloads: []string{"bfs"}}
+	cells := map[string]int{
+		"fig1": 3, // 3 oversubscription points
+		"fig4": 3, // 3 thresholds
+		"fig5": 3, // 3 policies
+		"fig6": 4, // 4 policies
+		"fig7": 4,
+		"fig8": 1 + len(Fig8Penalties),
+	}
+	for _, fig := range FigureNames() {
+		req, err := FigureJob(fig, o)
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		_, st := runJob(t, req)
+		if st.State != serve.StateDone {
+			t.Fatalf("%s: job ended %s: %s", fig, st.State, st.Error)
+		}
+		if st.TotalCells != cells[fig] {
+			t.Errorf("%s: %d cells, want %d", fig, st.TotalCells, cells[fig])
+		}
+	}
+
+	if _, err := FigureJob("fig2", o); err == nil {
+		t.Error("fig2 (trace characterization) should have no job mapping")
+	}
+}
+
+// The tournament job must cover every planner x prefetcher combination
+// and agree cycle-for-cycle with the in-process tournament.
+func TestTournamentJobMatchesInProcessTournament(t *testing.T) {
+	to := TournamentOptions{
+		Options:     Options{Scale: 0.05, Workloads: []string{"bfs", "ra"}},
+		Planners:    []string{"threshold", "thrash-guard"},
+		Prefetchers: []string{""},
+	}
+	res := Tournament(to)
+	var want uint64
+	for _, e := range res.Entries {
+		want += e.TotalCycles
+	}
+
+	doc, st := runJob(t, TournamentJob(to))
+	if st.TotalCells != 4 {
+		t.Fatalf("tournament job expanded to %d cells, want 2 workloads x 2 planners", st.TotalCells)
+	}
+	var got uint64
+	for _, cell := range doc.Cells {
+		got += cell.Record.Counters.Cycles
+	}
+	if got != want {
+		t.Fatalf("job cycles %d != tournament cycles %d", got, want)
+	}
+}

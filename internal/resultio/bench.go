@@ -40,14 +40,16 @@ type BenchSuite struct {
 	Results   []BenchResult `json:"results"`
 }
 
-// WriteBenchSuite emits the suite as indented JSON.
+// WriteBenchSuite emits the suite as indented JSON without mutating
+// the caller's struct (an unset Version is defaulted on a copy).
 func WriteBenchSuite(w io.Writer, s *BenchSuite) error {
-	if s.Version == 0 {
-		s.Version = BenchFormatVersion
+	cp := *s
+	if cp.Version == 0 {
+		cp.Version = BenchFormatVersion
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s)
+	return enc.Encode(&cp)
 }
 
 // ReadBenchSuite parses and validates one suite.
@@ -57,6 +59,9 @@ func ReadBenchSuite(r io.Reader) (*BenchSuite, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("resultio: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
 	}
 	if s.Version != BenchFormatVersion {
 		return nil, fmt.Errorf("resultio: unsupported bench suite version %d (want %d)", s.Version, BenchFormatVersion)

@@ -49,14 +49,29 @@ func FromResult(res *core.Result, scale float64, oversubPercent uint64) *Record 
 	}
 }
 
-// Write emits the record as indented JSON.
+// Write emits the record as indented JSON. The caller's record is
+// never mutated: an unset Version is defaulted on a copy (writers must
+// be side-effect-free — see TestWritersDoNotMutateInput).
 func Write(w io.Writer, rec *Record) error {
-	if rec.Version == 0 {
-		rec.Version = FormatVersion
+	cp := *rec
+	if cp.Version == 0 {
+		cp.Version = FormatVersion
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rec)
+	return enc.Encode(&cp)
+}
+
+// requireEOF rejects any non-whitespace bytes after the decoded JSON
+// document. Every resultio reader enforces this: a truncated write that
+// was later concatenated with another document, or a corrupted
+// content-addressed cache entry, must fail loudly instead of parsing
+// "successfully" as its leading prefix.
+func requireEOF(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("resultio: trailing data after JSON document")
+	}
+	return nil
 }
 
 // Read parses one record and validates its schema version and counters.
@@ -67,24 +82,36 @@ func Read(r io.Reader) (*Record, error) {
 	if err := dec.Decode(&rec); err != nil {
 		return nil, fmt.Errorf("resultio: %w", err)
 	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
+	}
+	if err := validateRecord(&rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// validateRecord checks a decoded record's schema version, counters and
+// optional metrics block (shared by Read and ReadCellEntry).
+func validateRecord(rec *Record) error {
 	if rec.Version != FormatVersion {
-		return nil, fmt.Errorf("resultio: unsupported record version %d (want %d)", rec.Version, FormatVersion)
+		return fmt.Errorf("resultio: unsupported record version %d (want %d)", rec.Version, FormatVersion)
 	}
 	if rec.Workload == "" {
-		return nil, fmt.Errorf("resultio: record missing workload")
+		return fmt.Errorf("resultio: record missing workload")
 	}
 	if err := rec.Counters.Validate(); err != nil {
-		return nil, fmt.Errorf("resultio: %w", err)
+		return fmt.Errorf("resultio: %w", err)
 	}
 	if rec.Metrics != nil {
 		if err := rec.Metrics.Validate(); err != nil {
-			return nil, fmt.Errorf("resultio: %w", err)
+			return fmt.Errorf("resultio: %w", err)
 		}
 		if err := checkMetricsAgainstCounters(rec.Metrics, &rec.Counters); err != nil {
-			return nil, fmt.Errorf("resultio: %w", err)
+			return fmt.Errorf("resultio: %w", err)
 		}
 	}
-	return &rec, nil
+	return nil
 }
 
 // metricForCounter maps the canonical metric names the driver publishes

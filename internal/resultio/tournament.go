@@ -47,14 +47,17 @@ type TournamentSuite struct {
 	Entries []TournamentEntry `json:"entries"`
 }
 
-// WriteTournamentSuite emits the suite as indented JSON.
+// WriteTournamentSuite emits the suite as indented JSON without
+// mutating the caller's struct (an unset Version is defaulted on a
+// copy).
 func WriteTournamentSuite(w io.Writer, s *TournamentSuite) error {
-	if s.Version == 0 {
-		s.Version = TournamentFormatVersion
+	cp := *s
+	if cp.Version == 0 {
+		cp.Version = TournamentFormatVersion
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s)
+	return enc.Encode(&cp)
 }
 
 // ReadTournamentSuite parses and validates one suite.
@@ -64,6 +67,9 @@ func ReadTournamentSuite(r io.Reader) (*TournamentSuite, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("resultio: %w", err)
+	}
+	if err := requireEOF(dec); err != nil {
+		return nil, err
 	}
 	if s.Version != TournamentFormatVersion {
 		return nil, fmt.Errorf("resultio: unsupported tournament suite version %d (want %d)", s.Version, TournamentFormatVersion)

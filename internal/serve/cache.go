@@ -1,0 +1,71 @@
+package serve
+
+import "sync"
+
+// Cache is the content-addressed result store: canonical cell key →
+// immutable serialized resultio.CellEntry bytes. Determinism makes the
+// payload for a key immutable, so the cache is append-only: the first
+// writer wins and every later Put of the same key is a no-op (any two
+// writers computed identical bytes). Safe for concurrent use.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string][]byte
+	bytes   uint64
+	hits    uint64
+	misses  uint64
+}
+
+// CacheStats is a point-in-time view of the cache, served by the
+// /v1/cache endpoint.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Bytes   uint64 `json:"bytes"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string][]byte)}
+}
+
+// Get returns the payload stored under key, recording a hit or miss.
+// The returned slice is shared and must not be mutated.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+// Put stores payload under key if absent. Payloads are content-defined
+// by the key, so a concurrent duplicate Put carries identical bytes and
+// the first write wins.
+func (c *Cache) Put(key string, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	c.entries[key] = cp
+	c.bytes += uint64(len(cp))
+}
+
+// Stats returns the current cache statistics.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{
+		Entries: len(c.entries),
+		Bytes:   c.bytes,
+		Hits:    c.hits,
+		Misses:  c.misses,
+	}
+}

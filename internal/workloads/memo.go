@@ -1,6 +1,9 @@
 package workloads
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Memo caches Built workloads per (name, scale) so a figure sweep
 // builds each workload graph/trace once and shares the immutable Built
@@ -14,13 +17,19 @@ import "sync"
 // are baked into each factory, so (name, scale) fully identifies the
 // build — there is no external seed dimension to key on.
 //
-// Get is safe for concurrent use by parallel sweep workers. The build
-// itself runs under the memo lock: concurrent first requests for the
-// same key would otherwise race to build duplicate graphs, and a
-// workload build is cheap next to the simulations that share it.
+// Get is safe for concurrent use by parallel sweep workers and by the
+// sweep service's job goroutines. Builds are serialized per key, not
+// globally: concurrent first requests for the *same* (name, scale)
+// share one build, while requests for distinct keys build concurrently
+// (a long scale-1.0 build must not stall every unrelated job behind a
+// global lock — see TestMemoDistinctKeysBuildConcurrently).
 type Memo struct {
 	mu sync.Mutex
-	m  map[memoKey]*Built
+	m  map[memoKey]*memoEntry
+
+	// build constructs a workload; tests override it to observe build
+	// concurrency. nil selects the real factories.
+	build func(name string, scale float64) *Built
 }
 
 type memoKey struct {
@@ -28,21 +37,41 @@ type memoKey struct {
 	scale float64
 }
 
+// memoEntry is the per-key future: the once runs the build exactly one
+// time while other keys proceed independently.
+type memoEntry struct {
+	once sync.Once
+	b    *Built
+}
+
 // NewMemo returns an empty workload cache.
-func NewMemo() *Memo { return &Memo{m: make(map[memoKey]*Built)} }
+func NewMemo() *Memo { return &Memo{m: make(map[memoKey]*memoEntry)} }
 
 // Get returns the cached Built for (name, scale), building and caching
 // it on first request. Unknown names panic exactly as MustGet does.
 func (m *Memo) Get(name string, scale float64) *Built {
+	// Resolve the factory before touching the entry so an unknown name
+	// panics on every caller instead of poisoning the key's once.
+	build := m.build
+	if build == nil {
+		f := MustGet(name)
+		build = func(_ string, scale float64) *Built { return f(scale) }
+	}
 	key := memoKey{name: name, scale: scale}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if b, ok := m.m[key]; ok {
-		return b
+	e := m.m[key]
+	if e == nil {
+		e = &memoEntry{}
+		m.m[key] = e
 	}
-	b := MustGet(name)(scale)
-	m.m[key] = b
-	return b
+	m.mu.Unlock()
+	e.once.Do(func() { e.b = build(name, scale) })
+	if e.b == nil {
+		// A panicking build marks the once done with a nil Built; later
+		// callers must not silently receive it.
+		panic(fmt.Sprintf("workloads: build of %q (scale %g) previously failed", name, scale))
+	}
+	return e.b
 }
 
 // Len reports how many distinct (name, scale) builds the memo holds.
