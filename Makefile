@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
+.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke bench-cxl bench-cxl-smoke colo-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -117,8 +117,36 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/paperbench -serve-load BENCH_serve.json -scale 0.05 -serve-clients 8
 
-# Per-package coverage floor (70%) for the learned-policy surface: the
-# mm pipeline and the learn primitives it builds on.
+# Regenerate the committed co-location baseline: the canonical
+# two-GPU, three-tenant mix over the pooled CXL tier under every pool
+# policy. Deterministic — reruns produce an identical file — and the
+# generator itself fails unless counter-arbitrated replication
+# (cxl-repl) beats naive migrate-on-touch (cxl-migrate) on simulated
+# cycles, the suite's headline claim.
+bench-cxl:
+	$(GO) run ./cmd/paperbench -bench-cxl-json BENCH_cxl.json
+
+# Gate on the committed co-location baseline: re-run every scenario and
+# fail on any divergence (the runs are deterministic, so the compare is
+# exact — checksums and cycles, not a drift band).
+bench-cxl-smoke:
+	$(GO) run ./cmd/paperbench -bench-cxl-compare BENCH_cxl.json
+
+# End-to-end smoke of the multi-tenant co-location mode (DESIGN.md §15):
+# three tenants over two GPUs and a pooled CXL tier, run sequentially
+# and under the PDES coordinator — the outputs (including the result
+# checksum) must be byte-identical.
+colo-smoke:
+	$(GO) run ./cmd/uvmsim -tenants bfs:0:1,ra:0:0,backprop:1:1 -gpus 2 \
+		-cxl-pool-mb 32 -colo-epochs 3 -seed 7 -workers 1 >/tmp/uvmsim-colo-seq.txt
+	$(GO) run ./cmd/uvmsim -tenants bfs:0:1,ra:0:0,backprop:1:1 -gpus 2 \
+		-cxl-pool-mb 32 -colo-epochs 3 -seed 7 -workers 2 >/tmp/uvmsim-colo-par.txt
+	cmp /tmp/uvmsim-colo-seq.txt /tmp/uvmsim-colo-par.txt
+	grep -q 'checksum=' /tmp/uvmsim-colo-seq.txt
+
+# Per-package coverage floor (70%) for the learned-policy and
+# multi-tier surfaces: the mm pipeline, the learn primitives, the tier
+# topology, the per-GPU counter file, and the CXL controller.
 cover:
 	./scripts/cover.sh
 
@@ -136,5 +164,6 @@ smoke:
 # What CI runs (.github/workflows/ci.yml): vet + simlint + staticcheck
 # + govulncheck, build, race-detected tests, the coverage floor, the
 # observability smoke, the tournament smoke, the sweep-service smoke,
-# then the bench-smoke drift gate.
-ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke bench-smoke
+# the co-location smoke + baseline gate, then the bench-smoke drift
+# gate.
+ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke colo-smoke bench-cxl-smoke bench-smoke

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/cxl"
+	"uvmsim/internal/mm"
+	"uvmsim/internal/resultio"
+)
+
+// Co-location bench parameters: two GPUs sharing a CXL pool, two
+// tenants co-scheduled on GPU 0 (an irregular graph pair with a
+// read-mostly shared region) and one regular tenant alone on GPU 1.
+// The mix is chosen so the pooled tier actually arbitrates: the shared
+// blocks are read-hot on both GPUs, which counter-arbitrated
+// replication serves locally while naive migrate-on-touch ping-pongs
+// them.
+const benchCXLSeed = 3
+
+func benchCXLScenario(policy string) cxl.ScenarioConfig {
+	cfg := config.Default()
+	cfg.CXLPoolBytes = 64 << 20
+	cfg.PoolPolicy = policy
+	return cxl.ScenarioConfig{
+		Cfg:  cfg,
+		GPUs: 2,
+		Tenants: []cxl.TenantSpec{
+			{Workload: "bfs", GPU: 0, Priority: 1},
+			{Workload: "sssp", GPU: 0, Priority: 0},
+			{Workload: "backprop", GPU: 1, Priority: 1},
+		},
+		Seed:    benchCXLSeed,
+		Workers: 1,
+	}
+}
+
+// runBenchCXLScenarios executes the canonical tenant mix once per pool
+// policy and returns the populated suite. Every field is deterministic,
+// so a regenerated suite is byte-identical up to the Go version stamp.
+func runBenchCXLScenarios(stderr io.Writer) (*resultio.CXLSuite, error) {
+	suite := &resultio.CXLSuite{GoVersion: runtime.Version()}
+	for _, policy := range mm.PoolPolicyNames() {
+		sc := benchCXLScenario(policy)
+		fmt.Fprintf(stderr, "bench-cxl: %d tenants on %d GPUs under %s...\n",
+			len(sc.Tenants), sc.GPUs, policy)
+		s, err := cxl.NewScenario(sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		tenants := make([]string, len(sc.Tenants))
+		for i, t := range sc.Tenants {
+			tenants[i] = fmt.Sprintf("%s:%d:%d", t.Workload, t.GPU, t.Priority)
+		}
+		suite.Scenarios = append(suite.Scenarios, resultio.CXLScenario{
+			Name:    policy,
+			Policy:  policy,
+			GPUs:    sc.GPUs,
+			Tenants: tenants,
+			Seed:    benchCXLSeed,
+			Result:  *r,
+		})
+	}
+	return suite, nil
+}
+
+// checkCXLHeadline enforces the suite's reason to exist: the
+// counter-arbitrated replication policy must finish the co-location mix
+// in fewer simulated cycles than naive migrate-on-touch.
+func checkCXLHeadline(suite *resultio.CXLSuite) error {
+	repl, naive := suite.Scenario("cxl-repl"), suite.Scenario("cxl-migrate")
+	if repl == nil || naive == nil {
+		return fmt.Errorf("suite is missing the cxl-repl/cxl-migrate pair")
+	}
+	if repl.Result.SimCycles >= naive.Result.SimCycles {
+		return fmt.Errorf("cxl-repl %d cycles not better than cxl-migrate %d — replication stopped paying off",
+			repl.Result.SimCycles, naive.Result.SimCycles)
+	}
+	return nil
+}
+
+// runBenchCXLSuite runs the co-location benchmark across every pool
+// policy and writes the versioned suite bench-cxl-compare gates on.
+func runBenchCXLSuite(path string, stdout, stderr io.Writer) error {
+	suite, err := runBenchCXLScenarios(stderr)
+	if err != nil {
+		return err
+	}
+	if err := checkCXLHeadline(suite); err != nil {
+		return err
+	}
+	repl, naive := suite.Scenario("cxl-repl"), suite.Scenario("cxl-migrate")
+	fmt.Fprintf(stdout, "bench-cxl: cxl-repl %d cycles vs cxl-migrate %d (%.2fx), %d replications, fairness %.3f\n",
+		repl.Result.SimCycles, naive.Result.SimCycles,
+		float64(naive.Result.SimCycles)/float64(repl.Result.SimCycles),
+		repl.Result.Replications, repl.Result.Fairness)
+
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return resultio.WriteCXLSuite(out, suite)
+}
+
+// runBenchCXLCompare re-runs the committed co-location suite and fails
+// on ANY divergence: the scenarios are deterministic, so unlike the
+// wall-clock drift gates this one compares checksums exactly.
+func runBenchCXLCompare(path string, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := resultio.ReadCXLSuite(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	got, err := runBenchCXLScenarios(stderr)
+	if err != nil {
+		return err
+	}
+	for i := range base.Scenarios {
+		want := &base.Scenarios[i]
+		have := got.Scenario(want.Name)
+		if have == nil {
+			return fmt.Errorf("baseline scenario %q no longer runs; regenerate with -bench-cxl-json", want.Name)
+		}
+		if have.Result.Checksum != want.Result.Checksum || have.Result.SimCycles != want.Result.SimCycles {
+			return fmt.Errorf("scenario %q diverged from %s: cycles %d/checksum %d vs baseline %d/%d",
+				want.Name, path, have.Result.SimCycles, have.Result.Checksum,
+				want.Result.SimCycles, want.Result.Checksum)
+		}
+	}
+	if err := checkCXLHeadline(got); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bench-cxl-compare: PASS (%d scenarios byte-identical to %s)\n",
+		len(base.Scenarios), path)
+	return nil
+}

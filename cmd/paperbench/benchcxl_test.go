@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/resultio"
+)
+
+func TestBenchCXLSuiteAndCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cxl.json")
+	code, stdout, stderr := runCLI(t, "-bench-cxl-json", path)
+	if code != 0 {
+		t.Fatalf("bench-cxl-json = %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "bench-cxl: cxl-repl") {
+		t.Fatalf("stdout missing headline: %q", stdout)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	suite, err := resultio.ReadCXLSuite(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Scenarios) != 3 {
+		t.Fatalf("suite has %d scenarios, want one per pool policy", len(suite.Scenarios))
+	}
+	repl, naive := suite.Scenario("cxl-repl"), suite.Scenario("cxl-migrate")
+	if repl == nil || naive == nil || repl.Result.SimCycles >= naive.Result.SimCycles {
+		t.Fatalf("headline claim not recorded: repl=%+v naive=%+v", repl, naive)
+	}
+	if code, stdout, stderr := runCLI(t, "-bench-cxl-compare", path); code != 0 || !strings.Contains(stdout, "PASS") {
+		t.Fatalf("bench-cxl-compare = %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+}
+
+func TestBenchCXLCompareDetectsDivergence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_cxl.json")
+	if code, _, stderr := runCLI(t, "-bench-cxl-json", path); code != 0 {
+		t.Fatalf("bench-cxl-json = %d, stderr %q", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one scenario's checksum; the exact-compare gate must trip.
+	s := strings.Replace(string(raw), `"checksum": `, `"checksum": 1`, 1)
+	if s == string(raw) {
+		t.Fatal("no checksum field found to corrupt")
+	}
+	if err := os.WriteFile(path, []byte(s), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-bench-cxl-compare", path)
+	if code != 2 || !strings.Contains(stderr, "diverged") {
+		t.Fatalf("corrupted compare = %d, stderr %q, want exit 2 with divergence error", code, stderr)
+	}
+}
+
+func TestBenchCXLCompareMissingFileExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-bench-cxl-compare", filepath.Join(t.TempDir(), "nope.json"))
+	if code != 2 || stderr == "" {
+		t.Fatalf("missing baseline = %d, stderr %q", code, stderr)
+	}
+}

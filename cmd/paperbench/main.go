@@ -58,11 +58,11 @@ func main() {
 // options collects every parsed flag so the tool body is testable
 // without a process boundary.
 type options struct {
-	fig        string
-	table1     bool
-	csv        bool
-	plotOut    bool
-	sample     uint64
+	fig          string
+	table1       bool
+	csv          bool
+	plotOut      bool
+	sample       uint64
 	cpuprofile   string
 	memprofile   string
 	benchJSON    string
@@ -70,6 +70,9 @@ type options struct {
 
 	benchClusterJSON    string
 	benchClusterCompare string
+
+	benchCXLJSON    string
+	benchCXLCompare string
 
 	serveLoad    string
 	serveClients int
@@ -101,9 +104,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: all)")
 		workers        = fs.Int("workers", 0, "concurrent sweep cells per figure (0 = one per core)")
 		clusterWorkers = fs.Int("cluster-workers", 0, "PDES worker threads per multi-GPU cluster run (0 or 1 = sequential; results are identical either way)")
-		planner     = fs.String("planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
-		replacement = fs.String("replacement", "", "replacement policy for eviction: lru, lfu (default: paper pairing)")
-		prefetcher  = fs.String("prefetcher", "", "prefetcher: tree, none, sequential (default: tree)")
+		planner        = fs.String("planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
+		replacement    = fs.String("replacement", "", "replacement policy for eviction: lru, lfu (default: paper pairing)")
+		prefetcher     = fs.String("prefetcher", "", "prefetcher: tree, none, sequential (default: tree)")
 	)
 	fs.StringVar(&o.fig, "fig", "", "figure to regenerate: 1-8, or 'all'")
 	fs.BoolVar(&o.table1, "table1", false, "print Table I (simulated system configuration)")
@@ -116,6 +119,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
 	fs.StringVar(&o.benchClusterJSON, "bench-cluster-json", "", "run the multi-GPU cluster benchmark (sequential vs PDES) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchClusterCompare, "bench-cluster-compare", "", "re-run the cluster benchmark at the baseline's own scale and fail if its makespan drifts >2% from this file")
+	fs.StringVar(&o.benchCXLJSON, "bench-cxl-json", "", "run the CXL co-location benchmark (every pool policy over one tenant mix) and write a versioned JSON report to this file ('-' for stdout)")
+	fs.StringVar(&o.benchCXLCompare, "bench-cxl-compare", "", "re-run the co-location benchmark and fail unless every scenario is byte-identical to this file")
 	fs.StringVar(&o.serveLoad, "serve-load", "", "run the simd sweep-service load test (cold vs fully-cached warm phase) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.IntVar(&o.serveClients, "serve-clients", 8, "with -serve-load, concurrent clients in the warm phase")
 	fs.BoolVar(&o.tournament, "tournament", false, "run the pipeline tournament: rank every planner x prefetch-governor combination by total simulated cycles over the workload matrix")
@@ -131,7 +136,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" &&
-		o.benchClusterJSON == "" && o.benchClusterCompare == "" && o.serveLoad == "" && !o.tournament {
+		o.benchClusterJSON == "" && o.benchClusterCompare == "" &&
+		o.benchCXLJSON == "" && o.benchCXLCompare == "" && o.serveLoad == "" && !o.tournament {
 		fs.Usage()
 		return 2
 	}
@@ -275,6 +281,16 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 	}
 	if o.benchClusterCompare != "" {
 		if err := runBenchClusterCompare(o.benchClusterCompare, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchCXLJSON != "" {
+		if err := runBenchCXLSuite(o.benchCXLJSON, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchCXLCompare != "" {
+		if err := runBenchCXLCompare(o.benchCXLCompare, stdout, stderr); err != nil {
 			return err
 		}
 	}

@@ -65,10 +65,18 @@ type options struct {
 	seed          uint64
 	banditEpsilon uint64
 	banditEpoch   uint64
-	graphFile   string
-	spans       bool
-	csv         bool
-	jsonOut     string
+
+	tenants      string
+	cxlPoolMB    uint64
+	cxlBW        float64
+	cxlLatency   uint64
+	cxlThreshold uint64
+	poolPolicy   string
+	coloEpochs   int
+	graphFile    string
+	spans        bool
+	csv          bool
+	jsonOut      string
 
 	metricsJSON     string
 	traceOut        string
@@ -103,6 +111,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Uint64Var(&o.seed, "seed", 1, "seed for the learned pipeline stages (runs with equal seeds are byte-identical)")
 	fs.Uint64Var(&o.banditEpsilon, "bandit-epsilon", 10, "bandit exploration probability in percent (0 = never explore)")
 	fs.Uint64Var(&o.banditEpoch, "bandit-epoch", 0, "bandit learning epoch in simulated cycles (0 = built-in default)")
+	fs.StringVar(&o.tenants, "tenants", "", "run the multi-tenant co-location mode: comma-separated workload:gpu[:priority] tenants sharing -gpus GPUs over a pooled CXL tier (see DESIGN.md §15)")
+	fs.Uint64Var(&o.cxlPoolMB, "cxl-pool-mb", 0, "pooled CXL tier capacity in MiB (required with -tenants)")
+	fs.Float64Var(&o.cxlBW, "cxl-bw", 0, "CXL port bandwidth in bytes/cycle (0 = built-in default)")
+	fs.Uint64Var(&o.cxlLatency, "cxl-latency", 0, "CXL port latency in cycles (0 = built-in default)")
+	fs.Uint64Var(&o.cxlThreshold, "cxl-threshold", 0, "read-counter threshold for replica grants (0 = built-in default)")
+	fs.StringVar(&o.poolPolicy, "pool-policy", "", "pooled-tier policy: "+strings.Join(mm.PoolPolicyNames(), ", ")+" (default: cxl-repl)")
+	fs.IntVar(&o.coloEpochs, "colo-epochs", 0, "co-location barrier epochs (0 = built-in default)")
 	fs.StringVar(&o.graphFile, "graph", "", "edge-list file for bfs/sssp (src dst [weight] per line; overrides the synthetic input)")
 	fs.BoolVar(&o.spans, "spans", false, "print per-kernel timing spans")
 	fs.BoolVar(&o.csv, "csv", false, "print metrics as CSV")
@@ -149,6 +164,24 @@ func simulate(o options, stdout, stderr io.Writer) (err error) {
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers must be non-negative, got %d", o.workers)
+	}
+	if o.tenants != "" {
+		return simulateColocation(o, stdout, stderr)
+	}
+	for _, f := range []struct {
+		name string
+		set  bool
+	}{
+		{"-cxl-pool-mb", o.cxlPoolMB != 0},
+		{"-cxl-bw", o.cxlBW != 0},
+		{"-cxl-latency", o.cxlLatency != 0},
+		{"-cxl-threshold", o.cxlThreshold != 0},
+		{"-pool-policy", o.poolPolicy != ""},
+		{"-colo-epochs", o.coloEpochs != 0},
+	} {
+		if f.set {
+			return fmt.Errorf("%s applies to the co-location mode only (set -tenants)", f.name)
+		}
 	}
 	if o.gpus > 1 && (o.spans || o.jsonOut != "") {
 		return fmt.Errorf("-spans and -json apply to single-GPU runs only (got -gpus %d)", o.gpus)

@@ -1,0 +1,98 @@
+package mm
+
+import (
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/counters"
+)
+
+func TestPoolPolicyRegistry(t *testing.T) {
+	cfg := config.Default()
+	names := PoolPolicyNames()
+	want := []string{"cxl-migrate", "cxl-repl", "pool-remote"}
+	if len(names) != len(want) {
+		t.Fatalf("pool policies = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("pool policies = %v, want %v", names, want)
+		}
+	}
+	for _, n := range append(names, "", " CXL-Repl ") {
+		p, err := NewPoolPolicy(n, cfg)
+		if err != nil {
+			t.Fatalf("NewPoolPolicy(%q): %v", n, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy %q has no name", n)
+		}
+	}
+	if p, _ := NewPoolPolicy("", cfg); p.Name() != "cxl-repl" {
+		t.Fatalf("default pool policy = %s, want cxl-repl", p.Name())
+	}
+	if _, err := NewPoolPolicy("nvlink", cfg); err == nil {
+		t.Fatal("unknown pool policy accepted")
+	}
+}
+
+func TestCXLReplPolicyArbitration(t *testing.T) {
+	cfg := config.Default()
+	cfg.CXLPoolBytes = 1 << 20
+	cfg.CXLReadThreshold = 2
+	p, err := NewPoolPolicy("cxl-repl", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrs := counters.NewPerGPU(2)
+
+	// Cold read: remote.
+	ctrs.NoteRead(0, 0)
+	if d := p.Decide(PoolAccess{Block: 0, GPU: 0}, ctrs); d != PoolRemote {
+		t.Fatalf("cold read -> %v, want remote", d)
+	}
+	// Third read clears threshold 2 with no writers: replicate.
+	ctrs.NoteRead(0, 0)
+	ctrs.NoteRead(0, 0)
+	if d := p.Decide(PoolAccess{Block: 0, GPU: 0}, ctrs); d != PoolReplicate {
+		t.Fatalf("hot read -> %v, want replicate", d)
+	}
+	// Already holding a replica: stays remote (no re-grant).
+	if d := p.Decide(PoolAccess{Block: 0, GPU: 0, Replicated: true}, ctrs); d != PoolRemote {
+		t.Fatalf("replicated read -> %v, want remote", d)
+	}
+	// A writer appears on block 1 and out-writes GPU 0's reads: promote.
+	ctrs.NoteRead(1, 0)
+	for i := 0; i < 5; i++ {
+		ctrs.NoteWrite(1, 1)
+	}
+	if d := p.Decide(PoolAccess{Block: 1, GPU: 1, Write: true}, ctrs); d != PoolPromote {
+		t.Fatalf("dominant writer -> %v, want promote", d)
+	}
+	// A write without the margin stays remote.
+	ctrs.NoteWrite(2, 0)
+	ctrs.NoteRead(2, 1)
+	ctrs.NoteRead(2, 1)
+	ctrs.NoteRead(2, 1)
+	if d := p.Decide(PoolAccess{Block: 2, GPU: 0, Write: true}, ctrs); d != PoolRemote {
+		t.Fatalf("marginal writer -> %v, want remote", d)
+	}
+}
+
+func TestNaivePolicies(t *testing.T) {
+	cfg := config.Default()
+	ctrs := counters.NewPerGPU(1)
+	mig, _ := NewPoolPolicy("cxl-migrate", cfg)
+	if d := mig.Decide(PoolAccess{Block: 0, GPU: 0}, ctrs); d != PoolPromote {
+		t.Fatalf("cxl-migrate -> %v, want promote", d)
+	}
+	rem, _ := NewPoolPolicy("pool-remote", cfg)
+	if d := rem.Decide(PoolAccess{Block: 0, GPU: 0, Write: true}, ctrs); d != PoolRemote {
+		t.Fatalf("pool-remote -> %v, want remote", d)
+	}
+	for _, d := range []PoolDecision{PoolRemote, PoolReplicate, PoolPromote, PoolDecision(9)} {
+		if d.String() == "" {
+			t.Fatal("empty decision name")
+		}
+	}
+}

@@ -67,6 +67,7 @@ var (
 	planners   = &registry[MigrationPlanner]{kind: "migration planner", def: newThresholdPlanner}
 	evictors   = &registry[EvictionEngine]{kind: "eviction engine", def: newConfiguredEvictor}
 	prefetches = &registry[PrefetchGovernor]{kind: "prefetch governor", def: newConfiguredGovernor}
+	pools      = &registry[PoolPolicy]{kind: "pool policy", def: newCXLReplPolicy}
 )
 
 // RegisterBatcher adds a FaultBatcher factory under name. Panics on
@@ -116,3 +117,14 @@ func EvictorNames() []string { return evictors.names() }
 // PrefetchGovernorNames lists the registered PrefetchGovernor names,
 // sorted.
 func PrefetchGovernorNames() []string { return prefetches.names() }
+
+// RegisterPoolPolicy adds a PoolPolicy factory under name.
+func RegisterPoolPolicy(name string, f Factory[PoolPolicy]) { pools.register(name, f) }
+
+// NewPoolPolicy builds the named PoolPolicy ("" = default cxl-repl).
+func NewPoolPolicy(name string, cfg config.Config) (PoolPolicy, error) {
+	return pools.build(name, cfg)
+}
+
+// PoolPolicyNames lists the registered PoolPolicy names, sorted.
+func PoolPolicyNames() []string { return pools.names() }

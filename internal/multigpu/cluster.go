@@ -64,7 +64,7 @@ func (n *node) onKernelDone(sim.Cycle) { n.finished = true }
 // Cluster runs one workload across several GPUs.
 type Cluster struct {
 	eng   *sim.Engine // shared engine; nil when par drives per-node engines
-	par   *coordinator
+	par   *Coordinator
 	nodes []*node
 	built *workloads.Built
 	cfg   config.Config
@@ -97,7 +97,7 @@ func (c *Cluster) Observe(mk func(gpuIdx int) *obs.Run) {
 	if c.eng != nil {
 		c.eng.SetDaemon(0, nil)
 	} else {
-		c.par.setSweep(0, nil)
+		c.par.SetSweep(0, nil)
 	}
 	for idx, n := range c.nodes {
 		r := mk(idx)
@@ -118,7 +118,7 @@ func (c *Cluster) Observe(mk func(gpuIdx int) *obs.Run) {
 				e.Counter("sim.events_fired", c.clusterFired())
 			})
 			if c.par != nil {
-				c.par.publish(r.Reg)
+				c.par.Publish(r.Reg)
 			}
 		}
 		ck := &obs.Checker{}
@@ -134,7 +134,7 @@ func (c *Cluster) Observe(mk func(gpuIdx int) *obs.Run) {
 		// driver at real event boundaries and never extends the run.
 		c.eng.SetDaemon(sim.Cycle(c.checkEvery), c.checkTick)
 	} else {
-		c.par.setSweep(sim.Cycle(c.checkEvery), c.checkSweep)
+		c.par.SetSweep(sim.Cycle(c.checkEvery), c.checkSweep)
 	}
 }
 

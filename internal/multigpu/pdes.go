@@ -38,9 +38,14 @@ import (
 	"uvmsim/internal/sim"
 )
 
-// coordinator advances per-node engines in lockstep horizon rounds.
-type coordinator struct {
-	nodes     []*node
+// Coordinator advances a set of private engines in lockstep horizon
+// rounds. It is generic over engines, not cluster nodes: any model
+// whose partitions interact no faster than the lookahead (multi-GPU
+// kernels here, the CXL co-location scenarios in internal/cxl) can
+// drive its engines through one. Exported methods must be called from
+// a single goroutine; the Coordinator owns its worker pool.
+type Coordinator struct {
+	engines   []*sim.Engine
 	workers   int
 	lookahead sim.Cycle
 
@@ -62,19 +67,28 @@ type coordinator struct {
 	stalls uint64 // node-rounds with no event inside the horizon
 }
 
-// newCoordinator wires a coordinator over the nodes; workers must be in
-// [2, len(nodes)] and lookahead positive (New enforces both).
-func newCoordinator(nodes []*node, workers int, lookahead sim.Cycle) *coordinator {
-	if workers < 2 || workers > len(nodes) || lookahead == 0 {
-		panic(fmt.Sprintf("multigpu: coordinator with %d workers over %d nodes, lookahead %d",
-			workers, len(nodes), lookahead))
+// NewCoordinator wires a coordinator over the engines; workers must be
+// in [2, len(engines)] and lookahead positive.
+func NewCoordinator(engines []*sim.Engine, workers int, lookahead sim.Cycle) *Coordinator {
+	if workers < 2 || workers > len(engines) || lookahead == 0 {
+		panic(fmt.Sprintf("multigpu: coordinator with %d workers over %d engines, lookahead %d",
+			workers, len(engines), lookahead))
 	}
-	return &coordinator{nodes: nodes, workers: workers, lookahead: lookahead}
+	return &Coordinator{engines: engines, workers: workers, lookahead: lookahead}
 }
 
-// start spawns the worker pool (one goroutine per worker, fixed node
-// assignment). Every start is paired with a stop.
-func (co *coordinator) start() {
+// newCoordinator wires a Coordinator over cluster nodes.
+func newCoordinator(nodes []*node, workers int, lookahead sim.Cycle) *Coordinator {
+	engines := make([]*sim.Engine, len(nodes))
+	for i, n := range nodes {
+		engines[i] = n.eng
+	}
+	return NewCoordinator(engines, workers, lookahead)
+}
+
+// Start spawns the worker pool (one goroutine per worker, fixed engine
+// assignment). Every Start is paired with a Stop.
+func (co *Coordinator) Start() {
 	if co.cmd != nil {
 		panic("multigpu: coordinator already running")
 	}
@@ -86,8 +100,8 @@ func (co *coordinator) start() {
 	}
 }
 
-// stop terminates the worker pool.
-func (co *coordinator) stop() {
+// Stop terminates the worker pool.
+func (co *Coordinator) Stop() {
 	for _, ch := range co.cmd {
 		close(ch)
 	}
@@ -99,18 +113,18 @@ func (co *coordinator) stop() {
 // the command channel closes.
 //
 //sim:hotpath
-func (co *coordinator) worker(w int) {
+func (co *Coordinator) worker(w int) {
 	for deadline := range co.cmd[w] {
-		for i := w; i < len(co.nodes); i += co.workers {
-			co.nodes[i].eng.DrainUntil(deadline)
+		for i := w; i < len(co.engines); i += co.workers {
+			co.engines[i].DrainUntil(deadline)
 		}
 		co.done <- struct{}{}
 	}
 }
 
-// setSweep installs (or, with every == 0, removes) the horizon-boundary
+// SetSweep installs (or, with every == 0, removes) the horizon-boundary
 // invariant sweep; mirrors sim.Engine.SetDaemon semantics.
-func (co *coordinator) setSweep(every sim.Cycle, fn func(sim.Cycle)) {
+func (co *Coordinator) SetSweep(every sim.Cycle, fn func(sim.Cycle)) {
 	if (every == 0) != (fn == nil) {
 		panic("multigpu: setSweep needs both a period and a function (or neither)")
 	}
@@ -118,19 +132,19 @@ func (co *coordinator) setSweep(every sim.Cycle, fn func(sim.Cycle)) {
 	co.sweepNext = every
 }
 
-// drain runs horizon rounds until every node engine is empty. Each
+// Drain runs horizon rounds until every engine is empty. Each
 // round advances all engines concurrently to min-next-event+lookahead,
 // which can never violate causality: nothing a node does before the
 // horizon can reach another node sooner than one interconnect round
 // trip (and, in this model, not before the kernel barrier at all).
 //
 //sim:hotpath
-func (co *coordinator) drain() {
+func (co *Coordinator) Drain() {
 	for {
 		min := sim.MaxCycle
 		any := false
-		for _, n := range co.nodes {
-			if at, ok := n.eng.NextEventAt(); ok && at < min {
+		for _, e := range co.engines {
+			if at, ok := e.NextEventAt(); ok && at < min {
 				min = at
 				any = true
 			}
@@ -142,8 +156,8 @@ func (co *coordinator) drain() {
 		if horizon < min {
 			horizon = sim.MaxCycle // saturate near the end of time
 		}
-		for _, n := range co.nodes {
-			if at, ok := n.eng.NextEventAt(); !ok || at > horizon {
+		for _, e := range co.engines {
+			if at, ok := e.NextEventAt(); !ok || at > horizon {
 				co.stalls++
 			}
 		}
@@ -165,13 +179,13 @@ func (co *coordinator) drain() {
 // sequential engine daemon — it can never perturb results.
 //
 //sim:hotpath
-func (co *coordinator) maybeSweep() {
+func (co *Coordinator) maybeSweep() {
 	if co.sweepEvery == 0 {
 		return
 	}
 	var now sim.Cycle
-	for _, n := range co.nodes {
-		if t := n.eng.Now(); t > now {
+	for _, e := range co.engines {
+		if t := e.Now(); t > now {
 			now = t
 		}
 	}
@@ -184,17 +198,17 @@ func (co *coordinator) maybeSweep() {
 // efficiency is the busy fraction of node-rounds — a deterministic,
 // wall-clock-free proxy for parallel efficiency (identical across
 // machines and worker counts, unlike a speedup measurement).
-func (co *coordinator) efficiency() float64 {
-	total := co.steps * uint64(len(co.nodes))
+func (co *Coordinator) efficiency() float64 {
+	total := co.steps * uint64(len(co.engines))
 	if total == 0 {
 		return 0
 	}
 	return 1 - float64(co.stalls)/float64(total)
 }
 
-// publish registers the coordinator's efficiency metrics on the
+// Publish registers the coordinator's efficiency metrics on the
 // registry; values are read at collection time, after the run.
-func (co *coordinator) publish(reg *obs.Registry) {
+func (co *Coordinator) Publish(reg *obs.Registry) {
 	reg.RegisterProvider(func(e obs.Emitter) {
 		e.Counter(obs.MetricPDESSteps, co.steps)
 		e.Counter(obs.MetricPDESHorizonStalls, co.stalls)
@@ -212,8 +226,8 @@ func (co *coordinator) publish(reg *obs.Registry) {
 // sequentially.
 func (c *Cluster) runParallel() *Result {
 	co := c.par
-	co.start()
-	defer co.stop()
+	co.Start()
+	defer co.Stop()
 	var barrier sim.Cycle
 	for _, k := range c.built.Kernels {
 		for idx, n := range c.nodes {
@@ -225,7 +239,7 @@ func (c *Cluster) runParallel() *Result {
 			}
 			n.g.Launch(sub, n.onKernelDone)
 		}
-		co.drain() // also drains trailing prefetch transfers
+		co.Drain() // also drains trailing prefetch transfers
 		for idx, n := range c.nodes {
 			if n.launched && !n.finished {
 				panic(fmt.Sprintf("multigpu: kernel %s left gpu%d unfinished", k.Name, idx))

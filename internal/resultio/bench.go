@@ -29,9 +29,9 @@ type BenchResult struct {
 // (Go version, host parallelism, workload scale) to judge whether two
 // measurements are comparable before comparing them.
 type BenchSuite struct {
-	Version    int    `json:"version"`
-	GoVersion  string `json:"goVersion"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Version    int     `json:"version"`
+	GoVersion  string  `json:"goVersion"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	Scale      float64 `json:"scale"`
 	// Workloads is the sweep's workload subset (empty = the full paper
 	// suite); simulated-cycle totals are only comparable between suites

@@ -1,0 +1,171 @@
+package resultio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/cxl"
+)
+
+func sampleCXLSuite() *CXLSuite {
+	res := cxl.Result{
+		SimCycles: 1234, Checksum: 99, Fairness: 0.8, Replications: 3,
+		Tenants: []cxl.TenantResult{
+			{Workload: "bfs", GPU: 0, Accesses: 100},
+			{Workload: "sssp", GPU: 0, Accesses: 90},
+		},
+	}
+	return &CXLSuite{
+		GoVersion: "go0.test",
+		Scenarios: []CXLScenario{
+			{Name: "cxl-repl", Policy: "cxl-repl", GPUs: 2,
+				Tenants: []string{"bfs:0:1", "sssp:0:0"}, Seed: 7, Result: res},
+		},
+	}
+}
+
+func TestCXLSuiteRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := sampleCXLSuite()
+	if err := WriteCXLSuite(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 0 {
+		t.Fatal("WriteCXLSuite mutated its input")
+	}
+	got, err := ReadCXLSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != CXLFormatVersion || len(got.Scenarios) != 1 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	sc := got.Scenario("cxl-repl")
+	if sc == nil || sc.Result.SimCycles != 1234 || sc.Result.Checksum != 99 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	if got.Scenario("nope") != nil {
+		t.Fatal("unknown scenario resolved")
+	}
+}
+
+func TestCXLSuiteRejects(t *testing.T) {
+	cases := map[string]func(*CXLSuite){
+		"no scenarios":    func(s *CXLSuite) { s.Scenarios = nil },
+		"missing name":    func(s *CXLSuite) { s.Scenarios[0].Name = "" },
+		"missing policy":  func(s *CXLSuite) { s.Scenarios[0].Policy = "" },
+		"zero gpus":       func(s *CXLSuite) { s.Scenarios[0].GPUs = 0 },
+		"no tenants":      func(s *CXLSuite) { s.Scenarios[0].Tenants = nil },
+		"zero cycles":     func(s *CXLSuite) { s.Scenarios[0].Result.SimCycles = 0 },
+		"tenant mismatch": func(s *CXLSuite) { s.Scenarios[0].Result.Tenants = s.Scenarios[0].Result.Tenants[:1] },
+		"bad version":     func(s *CXLSuite) { s.Version = 99 },
+		"duplicate name":  func(s *CXLSuite) { s.Scenarios = append(s.Scenarios, s.Scenarios[0]) },
+	}
+	for name, mut := range cases {
+		s := sampleCXLSuite()
+		// Deep-enough copy for the mutations used above.
+		s.Scenarios = append([]CXLScenario(nil), s.Scenarios...)
+		mut(s)
+		var buf bytes.Buffer
+		if err := WriteCXLSuite(&buf, s); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		if _, err := ReadCXLSuite(&buf); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadCXLSuite(strings.NewReader(`{"version":1,"bogus":true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteCXLSuite(&buf, sampleCXLSuite()); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("{}")
+	if _, err := ReadCXLSuite(&buf); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func sampleCXLEntry() *CXLEntry {
+	return &CXLEntry{Key: "deadbeef", Scenario: sampleCXLSuite().Scenarios[0]}
+}
+
+func TestCXLEntryRoundTrip(t *testing.T) {
+	e := sampleCXLEntry()
+	var buf bytes.Buffer
+	if err := WriteCXLEntry(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 0 {
+		t.Fatal("WriteCXLEntry mutated its input")
+	}
+	got, err := ReadCXLEntry(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != CXLFormatVersion || got.Key != "deadbeef" {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if got.Scenario.Result.Checksum != 99 || len(got.Scenario.Tenants) != 2 {
+		t.Fatalf("scenario = %+v", got.Scenario)
+	}
+}
+
+func TestCXLEntryWriteDeterministic(t *testing.T) {
+	e := sampleCXLEntry()
+	var a, b bytes.Buffer
+	if err := WriteCXLEntry(&a, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCXLEntry(&b, e); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of one entry differ")
+	}
+}
+
+func TestCXLEntryRejects(t *testing.T) {
+	cases := map[string]func(*CXLEntry){
+		"missing key":     func(e *CXLEntry) { e.Key = "" },
+		"missing name":    func(e *CXLEntry) { e.Scenario.Name = "" },
+		"missing policy":  func(e *CXLEntry) { e.Scenario.Policy = "" },
+		"zero cycles":     func(e *CXLEntry) { e.Scenario.Result.SimCycles = 0 },
+		"tenant mismatch": func(e *CXLEntry) { e.Scenario.Result.Tenants = e.Scenario.Result.Tenants[:1] },
+		"bad version":     func(e *CXLEntry) { e.Version = 99 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			e := sampleCXLEntry()
+			mutate(e)
+			var buf bytes.Buffer
+			enc := *e
+			if enc.Version == 0 {
+				enc.Version = CXLFormatVersion
+			}
+			if err := WriteCXLEntry(&buf, &enc); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadCXLEntry(&buf); err == nil {
+				t.Fatal("mutated entry accepted")
+			}
+		})
+	}
+	t.Run("unknown field", func(t *testing.T) {
+		if _, err := ReadCXLEntry(strings.NewReader(`{"version":1,"key":"k","scenario":{},"bogus":1}`)); err == nil {
+			t.Fatal("unknown field accepted")
+		}
+	})
+	t.Run("trailing data", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := WriteCXLEntry(&buf, sampleCXLEntry()); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString("{}")
+		if _, err := ReadCXLEntry(&buf); err == nil {
+			t.Fatal("trailing data accepted")
+		}
+	})
+}

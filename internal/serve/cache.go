@@ -1,18 +1,35 @@
 package serve
 
-import "sync"
+import (
+	"container/list"
+	"sync"
+)
 
 // Cache is the content-addressed result store: canonical cell key →
 // immutable serialized resultio.CellEntry bytes. Determinism makes the
-// payload for a key immutable, so the cache is append-only: the first
-// writer wins and every later Put of the same key is a no-op (any two
-// writers computed identical bytes). Safe for concurrent use.
+// payload for a key immutable, so the cache never rewrites an entry:
+// the first writer wins and every later Put of the same key is a no-op
+// (any two writers computed identical bytes). With a positive entry
+// bound the cache evicts in strict least-recently-used order — the
+// victim is fully determined by the Get/Put sequence, never by map
+// iteration order — and an evicted key is simply recomputed on its next
+// miss, with identical bytes. Safe for concurrent use.
 type Cache struct {
-	mu      sync.RWMutex
-	entries map[string][]byte
-	bytes   uint64
-	hits    uint64
-	misses  uint64
+	mu      sync.Mutex
+	max     int // maximum entries; 0 = unbounded
+	entries map[string]*list.Element
+	// lru orders entries by recency, front = most recently used; each
+	// element holds a *cacheEntry.
+	lru       *list.List
+	bytes     uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
 }
 
 // CacheStats is a point-in-time view of the cache, served by the
@@ -22,50 +39,81 @@ type CacheStats struct {
 	Bytes   uint64 `json:"bytes"`
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound; MaxEntries is
+	// that bound (0 = unbounded).
+	Evictions  uint64 `json:"evictions"`
+	MaxEntries int    `json:"maxEntries,omitempty"`
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{entries: make(map[string][]byte)}
+// NewCache returns an empty unbounded cache.
+func NewCache() *Cache { return NewCacheWithLimit(0) }
+
+// NewCacheWithLimit returns an empty cache holding at most maxEntries
+// entries (0 = unbounded), evicting least-recently-used first.
+func NewCacheWithLimit(maxEntries int) *Cache {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	return &Cache{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
 }
 
-// Get returns the payload stored under key, recording a hit or miss.
-// The returned slice is shared and must not be mutated.
+// Get returns the payload stored under key, recording a hit or miss and
+// refreshing the entry's recency. The returned slice is shared and must
+// not be mutated.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	p, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return p, ok
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
 }
 
 // Put stores payload under key if absent. Payloads are content-defined
 // by the key, so a concurrent duplicate Put carries identical bytes and
-// the first write wins.
+// the first write wins (the duplicate still refreshes recency — the key
+// was just recomputed, so it is the hottest entry either way). When the
+// insert exceeds the entry bound, the least-recently-used entry is
+// evicted.
 func (c *Cache) Put(key string, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
 		return
 	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	c.entries[key] = cp
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, payload: cp})
 	c.bytes += uint64(len(cp))
+	for c.max > 0 && c.lru.Len() > c.max {
+		victim := c.lru.Back()
+		e := victim.Value.(*cacheEntry)
+		c.lru.Remove(victim)
+		delete(c.entries, e.key)
+		c.bytes -= uint64(len(e.payload))
+		c.evictions++
+	}
 }
 
 // Stats returns the current cache statistics.
 func (c *Cache) Stats() CacheStats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return CacheStats{
-		Entries: len(c.entries),
-		Bytes:   c.bytes,
-		Hits:    c.hits,
-		Misses:  c.misses,
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		MaxEntries: c.max,
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"uvmsim/internal/core"
+	"uvmsim/internal/cxl"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/resultio"
 	"uvmsim/internal/sweep"
@@ -39,6 +40,10 @@ type Options struct {
 	// MaxCells rejects jobs expanding to more cells than this
 	// (0 = 4096), bounding a single submission's memory footprint.
 	MaxCells int
+	// CacheMaxEntries bounds the content-addressed result cache
+	// (0 = unbounded); past the bound the least-recently-used cell is
+	// evicted and recomputed, byte-identically, on its next miss.
+	CacheMaxEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,7 +87,7 @@ func NewServer(opts Options) *Server {
 	return &Server{
 		opts:  opts,
 		memo:  workloads.NewMemo(),
-		cache: NewCache(),
+		cache: NewCacheWithLimit(opts.CacheMaxEntries),
 		sem:   make(chan struct{}, opts.Workers),
 		jobs:  make(map[string]*jobState),
 	}
@@ -192,22 +197,23 @@ func (j *jobState) result() ([]byte, bool) {
 // status. It is the programmatic equivalent of POST /v1/jobs (the load
 // test and in-process tests use it directly).
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
-	cells, err := req.cells()
+	cells, colos, err := req.expand()
 	if err != nil {
 		return JobStatus{}, err
 	}
-	if len(cells) > s.opts.MaxCells {
-		return JobStatus{}, fmt.Errorf("serve: job expands to %d cells (limit %d)", len(cells), s.opts.MaxCells)
+	total := len(cells) + len(colos)
+	if total > s.opts.MaxCells {
+		return JobStatus{}, fmt.Errorf("serve: job expands to %d cells (limit %d)", total, s.opts.MaxCells)
 	}
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("job-%d", s.seq)
-	j := newJobState(id, req.Name, len(cells))
+	j := newJobState(id, req.Name, total)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.mu.Unlock()
 	s.jobsSubmitted.Add(1)
-	go s.runJob(j, cells)
+	go s.runJob(j, cells, colos)
 	return j.status(), nil
 }
 
@@ -226,34 +232,53 @@ func (s *Server) job(id string) (*jobState, bool) {
 // claiming cells, in-flight cells finish, no goroutine leaks — and
 // surfaces here as a failed job; the shared token pool is returned in
 // full, so later jobs are unaffected.
-func (s *Server) runJob(j *jobState, cells []cell) {
+func (s *Server) runJob(j *jobState, cells []cell, colos []coloCell) {
 	defer func() {
 		if r := recover(); r != nil {
 			j.fail(fmt.Sprint(r))
 			s.jobsFailed.Add(1)
 		}
 	}()
-	fns := make([]func() []byte, len(cells))
-	for i, c := range cells {
+	fns := make([]func() []byte, 0, len(cells)+len(colos))
+	for _, c := range cells {
 		c := c
-		fns[i] = func() []byte { return s.runCell(j, c) }
+		fns = append(fns, func() []byte { return s.runCell(j, c) })
+	}
+	for _, c := range colos {
+		c := c
+		fns = append(fns, func() []byte { return s.runColoCell(j, c) })
 	}
 	workers := s.opts.Workers
 	payloads := sweep.Parallel(fns, workers)
 
+	// Entry payloads are newline-terminated JSON documents; splice them
+	// verbatim so a cache hit reproduces the bytes exactly. The colo
+	// section is emitted only when present, keeping pure workload-sweep
+	// payloads byte-identical to the pre-colo format.
+	splice := func(buf *bytes.Buffer, ps [][]byte) {
+		for i, p := range ps {
+			if i > 0 {
+				buf.WriteString(",\n")
+			}
+			buf.Write(bytes.TrimRight(p, "\n"))
+		}
+	}
 	var buf bytes.Buffer
 	buf.WriteString("{\n  \"version\": ")
 	fmt.Fprintf(&buf, "%d", ResultFormatVersion)
-	buf.WriteString(",\n  \"cells\": [\n")
-	for i, p := range payloads {
-		if i > 0 {
-			buf.WriteString(",\n")
-		}
-		// Entry payloads are newline-terminated JSON documents; splice
-		// them verbatim so a cache hit reproduces the bytes exactly.
-		buf.Write(bytes.TrimRight(p, "\n"))
+	if len(cells) == 0 {
+		buf.WriteString(",\n  \"cells\": []")
+	} else {
+		buf.WriteString(",\n  \"cells\": [\n")
+		splice(&buf, payloads[:len(cells)])
+		buf.WriteString("\n  ]")
 	}
-	buf.WriteString("\n  ]\n}\n")
+	if len(colos) > 0 {
+		buf.WriteString(",\n  \"colo\": [\n")
+		splice(&buf, payloads[len(cells):])
+		buf.WriteString("\n  ]")
+	}
+	buf.WriteString("\n}\n")
 	j.finish(buf.Bytes())
 	s.jobsCompleted.Add(1)
 }
@@ -290,6 +315,52 @@ func (s *Server) runCell(j *jobState, c cell) []byte {
 	return buf.Bytes()
 }
 
+// runColoCell executes one co-location cell — cache hit or scenario run
+// — and returns its canonical entry payload. Construction and run
+// errors abort the job through the sweep.Parallel panic path, exactly
+// like an invalid workload-cell config.
+func (s *Server) runColoCell(j *jobState, c coloCell) []byte {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	key := ColoKey(c.sc.GPUs, c.tenants, c.sc.Epochs, c.sc.Seed, c.sc.Cfg)
+	if p, ok := s.cache.Get(key); ok {
+		s.cellsCached.Add(1)
+		s.cellsCompleted.Add(1)
+		j.cellDone(true)
+		return p
+	}
+	sc, err := cxl.NewScenario(c.sc)
+	if err != nil {
+		panic(fmt.Sprintf("serve: colo cell: %v", err))
+	}
+	res, err := sc.Run()
+	if err != nil {
+		panic(fmt.Sprintf("serve: colo cell: %v", err))
+	}
+	entry := &resultio.CXLEntry{
+		Version: resultio.CXLFormatVersion,
+		Key:     key,
+		Scenario: resultio.CXLScenario{
+			Name:    c.policy,
+			Policy:  c.policy,
+			GPUs:    c.sc.GPUs,
+			Tenants: c.tenants,
+			Seed:    c.sc.Seed,
+			Result:  *res,
+		},
+	}
+	var buf bytes.Buffer
+	if err := resultio.WriteCXLEntry(&buf, entry); err != nil {
+		panic(fmt.Sprintf("serve: encoding colo entry: %v", err))
+	}
+	s.cache.Put(key, buf.Bytes())
+	s.cellsSimulated.Add(1)
+	s.cellsCompleted.Add(1)
+	j.cellDone(false)
+	return buf.Bytes()
+}
+
 // MetricsSnapshot publishes the service counters in the repo's standard
 // observability schema (obs.Snapshot, version 1), so the same tooling
 // that reads simulation metrics documents reads the service's.
@@ -309,6 +380,7 @@ func (s *Server) MetricsSnapshot() obs.Snapshot {
 			"serve.cache.bytes":      cs.Bytes,
 			"serve.cache.hits":       cs.Hits,
 			"serve.cache.misses":     cs.Misses,
+			"serve.cache.evictions":  cs.Evictions,
 		},
 	}
 }

@@ -1,0 +1,232 @@
+// Package tier describes the simulated memory hierarchy as an explicit
+// tier topology instead of the baked-in host/device pair the paper
+// models. A Topology is an ordered list of tiers — one host tier,
+// one or more per-GPU device tiers, and optionally one pooled tier
+// (CXL-attached memory shared by every GPU) — each carrying its own
+// capacity, access latency and bandwidth.
+//
+// Tiers are identified two ways: by name (stable, user-facing — CLI
+// flags and metrics use names) and by Index (dense, zero-based — the
+// UVM driver's residency state and the devmem pools are indexed by it).
+// The host tier is always index 0, so a residency value of tier.HostIndex
+// preserves the meaning the old boolean "not device-resident" had.
+package tier
+
+import (
+	"fmt"
+	"strings"
+
+	"uvmsim/internal/memunits"
+)
+
+// Kind classifies a tier's role in the hierarchy.
+type Kind int
+
+const (
+	// Host is CPU-attached memory reachable over the host link (PCIe).
+	// It is capacity-unbounded in the model: the backing store.
+	Host Kind = iota
+	// Device is one GPU's local DRAM: the only tier the SMs access at
+	// DRAM latency, and the tier capacity pressure evicts from.
+	Device
+	// Pool is a CXL-attached memory pool shared by every GPU: cheaper
+	// to reach than host memory, arbitrated by the pool's page
+	// controller (internal/cxl).
+	Pool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Device:
+		return "device"
+	case Pool:
+		return "pool"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a tier-kind name ("host", "device", "pool").
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "host":
+		return Host, nil
+	case "device":
+		return Device, nil
+	case "pool":
+		return Pool, nil
+	default:
+		return 0, fmt.Errorf("tier: unknown tier %q (want host, device or pool)", s)
+	}
+}
+
+// Index identifies a tier within its Topology. The host tier is always
+// HostIndex; device tiers follow in GPU order; the pool tier (when
+// present) is last. Residency state in the UVM driver stores an Index
+// per block, so the type is deliberately a small unsigned integer.
+type Index uint8
+
+// HostIndex is the host tier's position in every valid topology.
+const HostIndex Index = 0
+
+// MaxTiers bounds a topology so Index never overflows its uint8
+// representation (and residency state stays one byte per block).
+const MaxTiers = 255
+
+// Spec describes one tier.
+type Spec struct {
+	// Name is the unique, user-facing tier name ("host", "gpu0",
+	// "cxl-pool"). Metrics and CLI selections refer to tiers by name.
+	Name string
+	// Kind is the tier's role.
+	Kind Kind
+	// CapacityBytes bounds the tier's frame pool. Zero means unbounded
+	// and is only legal for the host tier (the backing store).
+	CapacityBytes uint64
+	// LatencyCycles is the tier's access latency in core cycles, as
+	// seen by an SM once data is resident there (DRAM latency for
+	// device tiers, the CXL load-to-use latency for the pool).
+	LatencyCycles uint64
+	// BytesPerCycle is the per-direction bandwidth of the link that
+	// fronts the tier (ignored for device tiers, which the SMs reach
+	// through the on-chip fabric).
+	BytesPerCycle float64
+}
+
+// Topology is a validated, immutable tier list.
+type Topology struct {
+	tiers []Spec
+}
+
+// New validates the specs and returns the topology. Rules: at most
+// MaxTiers tiers; unique non-empty names; exactly one host tier and it
+// must be first; at least one device tier; at most one pool tier;
+// capacities of device and pool tiers positive and page aligned.
+func New(specs ...Spec) (Topology, error) {
+	if len(specs) > MaxTiers {
+		return Topology{}, fmt.Errorf("tier: %d tiers exceed the maximum of %d", len(specs), MaxTiers)
+	}
+	seen := make(map[string]bool, len(specs))
+	hosts, devices, pools := 0, 0, 0
+	for i, s := range specs {
+		if s.Name == "" {
+			return Topology{}, fmt.Errorf("tier: tier %d has no name", i)
+		}
+		if seen[s.Name] {
+			return Topology{}, fmt.Errorf("tier: duplicate tier name %q", s.Name)
+		}
+		seen[s.Name] = true
+		switch s.Kind {
+		case Host:
+			hosts++
+			if i != int(HostIndex) {
+				return Topology{}, fmt.Errorf("tier: host tier %q must be first", s.Name)
+			}
+		case Device:
+			devices++
+		case Pool:
+			pools++
+		default:
+			return Topology{}, fmt.Errorf("tier: tier %q has unknown kind %d", s.Name, int(s.Kind))
+		}
+		if s.Kind != Host {
+			if s.CapacityBytes == 0 {
+				return Topology{}, fmt.Errorf("tier: %s tier %q needs a capacity", s.Kind, s.Name)
+			}
+			if s.CapacityBytes%memunits.PageSize != 0 {
+				return Topology{}, fmt.Errorf("tier: %s tier %q capacity %d not page aligned", s.Kind, s.Name, s.CapacityBytes)
+			}
+		}
+	}
+	switch {
+	case hosts != 1:
+		return Topology{}, fmt.Errorf("tier: want exactly one host tier, have %d", hosts)
+	case devices == 0:
+		return Topology{}, fmt.Errorf("tier: want at least one device tier")
+	case pools > 1:
+		return Topology{}, fmt.Errorf("tier: want at most one pool tier, have %d", pools)
+	}
+	t := Topology{tiers: make([]Spec, len(specs))}
+	copy(t.tiers, specs)
+	return t, nil
+}
+
+// MustNew is New for statically known-good topologies; it panics on
+// validation failure.
+func MustNew(specs ...Spec) Topology {
+	t, err := New(specs...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TwoTier returns the classic host+device pair the paper models: the
+// unbounded host tier and one device tier of the given capacity and
+// DRAM latency. This is the topology every pre-existing configuration
+// resolves to, which is what keeps the default path byte-identical.
+func TwoTier(deviceBytes, dramLatency uint64) Topology {
+	return MustNew(
+		Spec{Name: "host", Kind: Host},
+		Spec{Name: "gpu0", Kind: Device, CapacityBytes: deviceBytes, LatencyCycles: dramLatency},
+	)
+}
+
+// Len returns the number of tiers.
+func (t Topology) Len() int { return len(t.tiers) }
+
+// Spec returns tier i's description.
+func (t Topology) Spec(i Index) Spec {
+	return t.tiers[i]
+}
+
+// Lookup resolves a tier name to its index.
+func (t Topology) Lookup(name string) (Index, bool) {
+	for i, s := range t.tiers {
+		if s.Name == name {
+			return Index(i), true
+		}
+	}
+	return 0, false
+}
+
+// Devices returns the device-tier indices in order.
+func (t Topology) Devices() []Index {
+	var out []Index
+	for i, s := range t.tiers {
+		if s.Kind == Device {
+			out = append(out, Index(i))
+		}
+	}
+	return out
+}
+
+// PoolTier returns the pool tier's index, ok=false when the topology
+// has none (the two-tier default).
+func (t Topology) PoolTier() (Index, bool) {
+	for i, s := range t.tiers {
+		if s.Kind == Pool {
+			return Index(i), true
+		}
+	}
+	return 0, false
+}
+
+// String renders the topology compactly ("host + gpu0(12GiB) +
+// cxl-pool(4GiB)") for logs and run banners.
+func (t Topology) String() string {
+	var b strings.Builder
+	for i, s := range t.tiers {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(s.Name)
+		if s.CapacityBytes > 0 {
+			fmt.Fprintf(&b, "(%s)", memunits.HumanBytes(s.CapacityBytes))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package tier
+
+import (
+	"strings"
+	"testing"
+
+	"uvmsim/internal/memunits"
+)
+
+func TestTwoTierDefaultShape(t *testing.T) {
+	topo := TwoTier(12<<30, 100)
+	if topo.Len() != 2 {
+		t.Fatalf("two-tier topology has %d tiers", topo.Len())
+	}
+	if got := topo.Spec(HostIndex); got.Kind != Host || got.Name != "host" {
+		t.Fatalf("tier 0 = %+v, want the host tier", got)
+	}
+	devs := topo.Devices()
+	if len(devs) != 1 || devs[0] != 1 {
+		t.Fatalf("device tiers = %v, want [1]", devs)
+	}
+	if _, ok := topo.PoolTier(); ok {
+		t.Fatal("two-tier topology reports a pool tier")
+	}
+	if got := topo.Spec(1).CapacityBytes; got != 12<<30 {
+		t.Fatalf("device capacity = %d", got)
+	}
+}
+
+func TestThreeTierWithPool(t *testing.T) {
+	topo, err := New(
+		Spec{Name: "host", Kind: Host},
+		Spec{Name: "gpu0", Kind: Device, CapacityBytes: memunits.ChunkSize, LatencyCycles: 100},
+		Spec{Name: "gpu1", Kind: Device, CapacityBytes: memunits.ChunkSize, LatencyCycles: 100},
+		Spec{Name: "cxl-pool", Kind: Pool, CapacityBytes: 4 * memunits.ChunkSize, LatencyCycles: 300},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := topo.PoolTier()
+	if !ok || p != 3 {
+		t.Fatalf("pool tier = %d,%v want 3,true", p, ok)
+	}
+	if devs := topo.Devices(); len(devs) != 2 || devs[0] != 1 || devs[1] != 2 {
+		t.Fatalf("device tiers = %v", devs)
+	}
+	if idx, ok := topo.Lookup("gpu1"); !ok || idx != 2 {
+		t.Fatalf("Lookup(gpu1) = %d,%v", idx, ok)
+	}
+	if _, ok := topo.Lookup("gpu7"); ok {
+		t.Fatal("Lookup of unknown tier succeeded")
+	}
+	if s := topo.String(); !strings.Contains(s, "cxl-pool(8MB)") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestValidationRejectsMalformedTopologies(t *testing.T) {
+	dev := Spec{Name: "gpu0", Kind: Device, CapacityBytes: memunits.ChunkSize}
+	cases := []struct {
+		name  string
+		specs []Spec
+		want  string
+	}{
+		{"no host", []Spec{dev}, "exactly one host"},
+		{"two hosts", []Spec{{Name: "h1", Kind: Host}, {Name: "h2", Kind: Host}, dev}, "must be first"},
+		{"host not first", []Spec{dev, {Name: "host", Kind: Host}}, "must be first"},
+		{"no device", []Spec{{Name: "host", Kind: Host}}, "at least one device"},
+		{"duplicate name", []Spec{{Name: "host", Kind: Host}, dev, dev}, "duplicate"},
+		{"empty name", []Spec{{Name: "host", Kind: Host}, {Kind: Device, CapacityBytes: memunits.ChunkSize}}, "no name"},
+		{"zero capacity", []Spec{{Name: "host", Kind: Host}, {Name: "gpu0", Kind: Device}}, "needs a capacity"},
+		{"unaligned capacity", []Spec{{Name: "host", Kind: Host}, {Name: "gpu0", Kind: Device, CapacityBytes: 4097}}, "not page aligned"},
+		{"two pools", []Spec{{Name: "host", Kind: Host}, dev,
+			{Name: "p1", Kind: Pool, CapacityBytes: memunits.ChunkSize},
+			{Name: "p2", Kind: Pool, CapacityBytes: memunits.ChunkSize}}, "at most one pool"},
+		{"bad kind", []Spec{{Name: "host", Kind: Host}, {Name: "x", Kind: Kind(9), CapacityBytes: memunits.ChunkSize}}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.specs...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for s, want := range map[string]Kind{"host": Host, "Device": Device, " pool ": Pool} {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKind("l2"); err == nil {
+		t.Fatal("ParseKind accepted an unknown tier name")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Host.String() != "host" || Device.String() != "device" || Pool.String() != "pool" {
+		t.Fatal("kind names drifted")
+	}
+	if s := Kind(7).String(); !strings.Contains(s, "7") {
+		t.Fatalf("unknown kind renders %q", s)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"uvmsim/internal/config"
 	"uvmsim/internal/memunits"
+	"uvmsim/internal/tier"
 )
 
 // TestConsistencyDuringRandomTraffic fires randomized access streams at
@@ -88,11 +89,11 @@ func TestConsistencyDetectsCorruption(t *testing.T) {
 	r.syncAccess(t, r.a.Base, false)
 	// Corrupt: flip residency without fixing the tree or accounting.
 	bs := r.d.block(memunits.BlockOf(r.a.Base))
-	bs.resident = false
+	bs.home = tier.HostIndex
 	if err := r.d.CheckConsistency(); err == nil {
 		t.Fatal("checker accepted corrupted state")
 	}
-	bs.resident = true
+	bs.home = r.d.devTier
 	// Corrupt the chunk counter instead.
 	cs := r.d.chunk(memunits.ChunkOf(r.a.Base))
 	cs.residentBlocks++

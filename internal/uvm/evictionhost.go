@@ -5,6 +5,7 @@ import (
 	"uvmsim/internal/interconnect"
 	"uvmsim/internal/memunits"
 	"uvmsim/internal/obs"
+	"uvmsim/internal/tier"
 )
 
 // evictOne frees one eviction unit through the pipeline's eviction
@@ -102,7 +103,7 @@ func (h *evictionHost) BlockCandidates(strict bool) []evict.Candidate {
 		first := cs.info.FirstBlock()
 		for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
 			bs := d.blockAt(b)
-			if bs == nil || !bs.resident {
+			if bs == nil || !bs.resident() {
 				continue
 			}
 			recent := strict && d.cfg.EvictionRecencyGuard > 0 &&
@@ -135,7 +136,7 @@ func (h *evictionHost) Evict(idx int, strict bool) {
 	}
 	b, cs := d.numScratch[idx], d.ownerScratch[idx]
 	bs := d.blockAt(b)
-	bs.resident = false
+	bs.home = tier.HostIndex
 	d.ctrs.NoteEviction(uint64(b))
 	bs.everEvicted = true
 	d.st.TLBShootdowns += d.gmmuTLB.invalidateRange(memunits.FirstPageOfBlock(b), memunits.PagesPerBlock)
@@ -160,7 +161,7 @@ func (h *evictionHost) Evict(idx int, strict bool) {
 func (d *Driver) chunkDirty(cs *chunkState) bool {
 	first := cs.info.FirstBlock()
 	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
-		if bs := d.blockAt(b); bs != nil && bs.resident && bs.dirty {
+		if bs := d.blockAt(b); bs != nil && bs.resident() && bs.dirty {
 			return true
 		}
 	}
@@ -174,10 +175,10 @@ func (d *Driver) evictChunk(cs *chunkState) {
 	var evictedBlocks, dirtyBlocks uint64
 	for b := first; b < first+memunits.BlockNum(cs.info.Blocks()); b++ {
 		bs := d.blockAt(b)
-		if bs == nil || !bs.resident {
+		if bs == nil || !bs.resident() {
 			continue
 		}
-		bs.resident = false
+		bs.home = tier.HostIndex
 		d.ctrs.NoteEviction(uint64(b))
 		bs.everEvicted = true
 		evictedBlocks++

@@ -2,14 +2,16 @@
 # Per-package coverage floor for the learned-policy surface.
 #
 # Runs `go test -coverprofile` for each listed package and fails when
-# any falls below the floor. The floor guards the packages this PR made
-# load-bearing — the mm pipeline registry/stages and the learn
-# primitives — not the whole module: simulator hot paths are covered by
-# the golden and determinism suites instead.
+# any falls below the floor. The floor guards the packages recent PRs
+# made load-bearing — the mm pipeline registry/stages, the learn
+# primitives, and the multi-tier surface (tier topology, per-GPU
+# counters, CXL controller + co-location) — not the whole module:
+# simulator hot paths are covered by the golden and determinism suites
+# instead.
 set -eu
 
 FLOOR=70
-PACKAGES="uvmsim/internal/mm uvmsim/internal/learn"
+PACKAGES="uvmsim/internal/mm uvmsim/internal/learn uvmsim/internal/tier uvmsim/internal/counters uvmsim/internal/cxl"
 
 fail=0
 for pkg in $PACKAGES; do
