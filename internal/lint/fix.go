@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextEdit is one suggested replacement: the half-open source range
+// [Pos, End) becomes NewText. Pos == End inserts. Analyzers attach
+// edits to a finding via Pass.ReportfFix; cmd/simlint -fix applies
+// them and linttest.RunFix asserts golden .fixed outputs.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// Edit is a TextEdit resolved to a file and byte offsets — the form
+// stored on a Diagnostic, independent of any FileSet.
+type Edit struct {
+	Filename   string
+	Start, End int
+	NewText    string
+}
+
+// ApplyEdits returns src with the file's edits applied. Edits are
+// deduplicated (two findings may suggest the identical import
+// insertion) and applied right-to-left so earlier offsets stay valid;
+// overlapping edits abort with an error since applying either would
+// corrupt the other's anchor.
+func ApplyEdits(src []byte, edits []Edit) ([]byte, error) {
+	uniq := make([]Edit, 0, len(edits))
+	seen := make(map[Edit]bool)
+	for _, e := range edits {
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].Start != uniq[j].Start {
+			return uniq[i].Start > uniq[j].Start
+		}
+		return uniq[i].End > uniq[j].End
+	})
+	for i := 1; i < len(uniq); i++ {
+		if uniq[i].End > uniq[i-1].Start {
+			return nil, fmt.Errorf("lint: overlapping fixes at offsets %d and %d", uniq[i].Start, uniq[i-1].Start)
+		}
+	}
+	out := append([]byte(nil), src...)
+	for _, e := range uniq {
+		if e.Start < 0 || e.End > len(out) || e.Start > e.End {
+			return nil, fmt.Errorf("lint: fix range [%d,%d) outside file of %d bytes", e.Start, e.End, len(out))
+		}
+		out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out, nil
+}
+
+// EditsByFile groups every suggested edit in diags by filename.
+func EditsByFile(diags []Diagnostic) map[string][]Edit {
+	byFile := make(map[string][]Edit)
+	for _, d := range diags {
+		for _, e := range d.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	return byFile
+}
+
+// SortedRangeFix builds the canonical determinism fix for a
+// range-over-map loop: iterate the keys in sorted order instead.
+//
+//	for k, v := range m {         for _, k := range slices.Sorted(maps.Keys(m)) {
+//	        use(k, v)        =>           v := m[k]
+//	}                                     use(k, v)
+//	                              }
+//
+// plus "maps"/"slices" import insertions when the file lacks them. The
+// rewrite is offered only when it is provably faithful: the key is an
+// ident of an ordered basic type (cmp.Ordered), the value (if bound)
+// is an ident, and the map operand is a plain ident or field selector
+// (no side effects to duplicate). ok reports whether a fix applies.
+func SortedRangeFix(pass *Pass, f *ast.File, rng *ast.RangeStmt) ([]TextEdit, bool) {
+	if rng.Tok != token.DEFINE {
+		return nil, false
+	}
+	key, ok := ast.Unparen(rng.Key).(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil, false
+	}
+	kt := pass.TypeOf(rng.Key)
+	if kt == nil {
+		return nil, false
+	}
+	if b, ok := kt.Underlying().(*types.Basic); !ok || b.Info()&types.IsOrdered == 0 {
+		return nil, false
+	}
+	if !plainOperand(rng.X) {
+		return nil, false
+	}
+	var valName string
+	if rng.Value != nil {
+		v, ok := ast.Unparen(rng.Value).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		if v.Name != "_" {
+			valName = v.Name
+		}
+	}
+
+	var x bytes.Buffer
+	if err := printer.Fprint(&x, pass.Fset, rng.X); err != nil {
+		return nil, false
+	}
+	header := fmt.Sprintf("for _, %s := range slices.Sorted(maps.Keys(%s)) ", key.Name, x.String())
+	edits := []TextEdit{{Pos: rng.Pos(), End: rng.Body.Lbrace, NewText: header}}
+	if valName != "" {
+		// Rebind the value on the first body line, matching the body's
+		// indentation (gofmt'ed sources indent with tabs).
+		indent := "\t"
+		if len(rng.Body.List) > 0 {
+			if col := pass.Fset.Position(rng.Body.List[0].Pos()).Column; col > 1 {
+				indent = strings.Repeat("\t", col-1)
+			}
+		}
+		bind := fmt.Sprintf("\n%s%s := %s[%s]", indent, valName, x.String(), key.Name)
+		edits = append(edits, TextEdit{Pos: rng.Body.Lbrace + 1, End: rng.Body.Lbrace + 1, NewText: bind})
+	}
+	edits = append(edits, ImportEdits(pass, f, "maps", "slices")...)
+	return edits, true
+}
+
+// plainOperand accepts expressions that are safe to evaluate twice:
+// identifiers and field-selector chains.
+func plainOperand(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return plainOperand(e.X)
+	}
+	return false
+}
+
+// ImportEdits returns the insertions needed for f to import the given
+// stdlib paths (empty when all are already imported). Insertions go
+// into the first parenthesized import block, or a new import statement
+// after the package clause when the file has none.
+func ImportEdits(pass *Pass, f *ast.File, paths ...string) []TextEdit {
+	var missing []string
+	for _, path := range paths {
+		found := false
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, path)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			var b strings.Builder
+			for _, p := range missing {
+				fmt.Fprintf(&b, "\n\t%q", p)
+			}
+			return []TextEdit{{Pos: gd.Lparen + 1, End: gd.Lparen + 1, NewText: b.String()}}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("\n\nimport (")
+	for _, p := range missing {
+		fmt.Fprintf(&b, "\n\t%q", p)
+	}
+	b.WriteString("\n)")
+	pos := f.Name.End()
+	return []TextEdit{{Pos: pos, End: pos, NewText: b.String()}}
+}

@@ -19,9 +19,12 @@
 //
 //	//simlint:allow <name>[,<name>...] -- reason
 //
-// The reason is mandatory by convention (reviewers should reject bare
-// allows) but not enforced. Suppressions are deliberately line-scoped:
-// there is no file- or package-wide escape hatch.
+// The reason is mandatory and machine-enforced: an allow comment
+// without a trailing "-- reason" clause still suppresses (so the tree
+// stays fixable one finding at a time) but raises its own
+// "allowreason" diagnostic until a reason is written. Suppressions are
+// deliberately line-scoped: there is no file- or package-wide escape
+// hatch.
 package lint
 
 import (
@@ -44,11 +47,13 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Diagnostic is one finding, resolved to a file position.
+// Diagnostic is one finding, resolved to a file position. Edits, when
+// present, are the analyzer's suggested fix (applied by simlint -fix).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Edits    []Edit
 }
 
 func (d Diagnostic) String() string {
@@ -72,6 +77,10 @@ type Package struct {
 	// allow maps filename -> line -> analyzer names suppressed on that
 	// line (built once from //simlint:allow comments).
 	allow map[string]map[int][]string
+	// bareAllows are the positions of allow comments missing the
+	// mandatory "-- reason" clause; RunOn reports each as an
+	// "allowreason" finding.
+	bareAllows []token.Position
 }
 
 // NewPackage assembles a Package from already type-checked parts and
@@ -83,11 +92,14 @@ func NewPackage(path string, fset *token.FileSet, files []*ast.File, tpkg *types
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, hasReason, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				if !hasReason {
+					p.bareAllows = append(p.bareAllows, pos)
+				}
 				lines := p.allow[pos.Filename]
 				if lines == nil {
 					lines = make(map[int][]string)
@@ -100,26 +112,27 @@ func NewPackage(path string, fset *token.FileSet, files []*ast.File, tpkg *types
 	return p
 }
 
-// parseAllow extracts the analyzer names of a //simlint:allow comment.
-func parseAllow(text string) ([]string, bool) {
+// parseAllow extracts the analyzer names of a //simlint:allow comment
+// and whether the mandatory "-- reason" clause is present and
+// non-empty.
+func parseAllow(text string) (names []string, hasReason, ok bool) {
 	body, ok := strings.CutPrefix(text, "//simlint:allow")
 	if !ok {
 		body, ok = strings.CutPrefix(text, "// simlint:allow")
 	}
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
-	// Drop the trailing "-- reason" clause, if any.
 	if i := strings.Index(body, "--"); i >= 0 {
+		hasReason = strings.TrimSpace(body[i+2:]) != ""
 		body = body[:i]
 	}
-	var names []string
 	for _, n := range strings.Split(body, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	return names, hasReason, len(names) > 0
 }
 
 // suppressed reports whether analyzer name is allowed at pos: by a
@@ -150,6 +163,9 @@ type Pass struct {
 	// Path is the package's import path (Pkg.Path() for real loads; the
 	// fixture-relative path in tests).
 	Path string
+	// Prog is the whole-load view for interprocedural analyzers: every
+	// package in this run plus the call graph over them.
+	Prog *Program
 
 	pkg   *Package
 	sink  *[]Diagnostic
@@ -159,11 +175,23 @@ type Pass struct {
 // Reportf records a finding at pos unless a //simlint:allow suppression
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix records a finding carrying a suggested fix: edits that
+// simlint -fix applies mechanically. A suppression drops the fix along
+// with the finding.
+func (p *Pass) ReportfFix(pos token.Pos, edits []TextEdit, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.pkg.suppressed(position, p.Analyzer.Name) {
 		return
 	}
-	*p.sink = append(*p.sink, Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	for _, e := range edits {
+		start, end := p.Fset.Position(e.Pos), p.Fset.Position(e.End)
+		d.Edits = append(d.Edits, Edit{Filename: start.Filename, Start: start.Offset, End: end.Offset, NewText: e.NewText})
+	}
+	*p.sink = append(*p.sink, d)
 	p.count++
 }
 
@@ -172,10 +200,28 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // surviving diagnostics in deterministic (file, line, column, analyzer)
-// order.
+// order. The packages double as the interprocedural Program: taint and
+// call-graph queries see exactly this load.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunOn(BuildProgram(pkgs), pkgs, analyzers)
+}
+
+// RunOn applies the analyzers to the target packages with prog as the
+// interprocedural view; targets may be a subset of prog's packages
+// (linttest analyzes one fixture package against a program spanning
+// its fixture imports). Framework-level findings — allow comments
+// missing their mandatory reason — are reported here too, once per
+// target package, under the "allowreason" name.
+func RunOn(prog *Program, targets []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
+		for _, pos := range pkg.bareAllows {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "allowreason",
+				Message:  `//simlint:allow needs a written reason: append " -- <why this finding is acceptable>"`,
+			})
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -184,6 +230,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Path:     pkg.Path,
+				Prog:     prog,
 				pkg:      pkg,
 				sink:     &diags,
 			}

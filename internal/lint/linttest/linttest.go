@@ -42,7 +42,83 @@ import (
 // Run loads each fixture package (an import path under testdata/src),
 // applies the analyzer, and reports any mismatch between produced
 // diagnostics and // want expectations as test failures.
+//
+// Interprocedural analyzers see a lint.Program spanning the fixture
+// package and every fixture package it (transitively) imports, so a
+// fixture can demonstrate cross-package flows; diagnostics are checked
+// for the named fixture only.
 func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fix := range fixtures {
+		diags, _, fset, files := analyze(t, a, fix)
+		checkExpectations(t, fset, fix, files, diags)
+	}
+}
+
+// RunFix runs the analyzer over each fixture like Run, then applies
+// every suggested fix and compares the result against a golden
+// <file>.fixed sitting next to each edited fixture file. Setting
+// SIMLINT_UPDATE_FIXED=1 rewrites the goldens instead.
+func RunFix(t *testing.T, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fix := range fixtures {
+		diags, dir, _, _ := analyze(t, a, fix)
+		byFile := lint.EditsByFile(diags)
+		if len(byFile) == 0 {
+			t.Errorf("%s: RunFix expected suggested fixes, analyzer produced none", fix)
+		}
+		fixed := make(map[string]bool)
+		names := make([]string, 0, len(byFile))
+		for file := range byFile {
+			names = append(names, file)
+		}
+		sort.Strings(names)
+		for _, file := range names {
+			edits := byFile[file]
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatalf("linttest: %v", err)
+			}
+			got, err := lint.ApplyEdits(src, edits)
+			if err != nil {
+				t.Errorf("%s: applying fixes to %s: %v", fix, filepath.Base(file), err)
+				continue
+			}
+			golden := file + ".fixed"
+			fixed[golden] = true
+			if os.Getenv("SIMLINT_UPDATE_FIXED") == "1" {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatalf("linttest: %v", err)
+				}
+				continue
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Errorf("%s: missing golden %s (run with SIMLINT_UPDATE_FIXED=1 to create)", fix, filepath.Base(golden))
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: fixed output of %s differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+					fix, filepath.Base(file), got, want)
+			}
+		}
+		// Every committed golden must correspond to a produced fix;
+		// a stale .fixed means the analyzer stopped suggesting it.
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".fixed") && !fixed[filepath.Join(dir, e.Name())] {
+				t.Errorf("%s: golden %s exists but the analyzer suggested no fix for it", fix, e.Name())
+			}
+		}
+	}
+}
+
+// analyze loads one fixture and runs the analyzer over it with a
+// program spanning its fixture imports.
+func analyze(t *testing.T, a *lint.Analyzer, fix string) (diags []lint.Diagnostic, dir string, fset *token.FileSet, files []*ast.File) {
 	t.Helper()
 	root, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -52,16 +128,25 @@ func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
 		root: root,
 		fset: token.NewFileSet(),
 		pkgs: make(map[string]*fixturePkg),
+		lint: make(map[string]*lint.Package),
 	}
-	for _, fix := range fixtures {
-		fp, err := ld.load(fix)
-		if err != nil {
-			t.Fatalf("linttest: loading fixture %q: %v", fix, err)
-		}
-		pkg := lint.NewPackage(fix, ld.fset, fp.files, fp.types, fp.info)
-		diags := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
-		checkExpectations(t, ld.fset, fix, fp.files, diags)
+	fp, err := ld.load(fix)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %q: %v", fix, err)
 	}
+	target := ld.lintPackage(fix)
+	var paths []string
+	for p := range ld.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	all := make([]*lint.Package, 0, len(paths))
+	for _, p := range paths {
+		all = append(all, ld.lintPackage(p))
+	}
+	prog := lint.BuildProgram(all)
+	diags = lint.RunOn(prog, []*lint.Package{target}, []*lint.Analyzer{a})
+	return diags, filepath.Join(root, filepath.FromSlash(fix)), ld.fset, fp.files
 }
 
 // expectation is one // want regexp with its location.
@@ -168,6 +253,19 @@ type loader struct {
 	root string
 	fset *token.FileSet
 	pkgs map[string]*fixturePkg
+	lint map[string]*lint.Package
+}
+
+// lintPackage wraps a loaded fixture as a lint.Package exactly once,
+// so the analysis target and the Program share pointers.
+func (l *loader) lintPackage(path string) *lint.Package {
+	if p, ok := l.lint[path]; ok {
+		return p
+	}
+	fp := l.pkgs[path]
+	p := lint.NewPackage(path, l.fset, fp.files, fp.types, fp.info)
+	l.lint[path] = p
+	return p
 }
 
 func (l *loader) load(path string) (*fixturePkg, error) {

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SourceFunc classifies call expressions that introduce taint (wall
+// clock, global rand, ...). The string names the source for
+// diagnostics ("time.Now", "rand.Intn").
+type SourceFunc func(pkg *Package, call *ast.CallExpr) (string, bool)
+
+// Taint is an interprocedural value-taint engine over a Program: it
+// computes which declared functions return tainted values (directly or
+// through calls to other tainted functions) and, per function body,
+// which local objects carry taint. Analyzers use it to follow a
+// nondeterministic value — a wall-clock read, a draw from the global
+// rand source, a slice built in map-iteration order — across function
+// boundaries to a sink they care about.
+//
+// The analysis is flow-insensitive within a body (an object once
+// tainted stays tainted) and tracks named objects, not heap shapes: a
+// struct variable becomes tainted as a whole when any tainted value is
+// stored into it. Both choices over-approximate locally but keep the
+// engine small and predictable; sinks decide how much precision they
+// need.
+type Taint struct {
+	Prog   *Program
+	Source SourceFunc
+	// MapOrder, when set, additionally taints slice/string
+	// accumulators built inside range-over-map loops ("append in map
+	// iteration order") unless the accumulator is later passed to a
+	// sort call in the same body — the canonical collect-then-sort
+	// idiom stays clean.
+	MapOrder bool
+
+	returns map[*types.Func]string
+	locals  map[*ast.FuncDecl]*LocalTaint
+}
+
+// NewTaint computes the engine's function summaries to a fixed point.
+func NewTaint(prog *Program, source SourceFunc, mapOrder bool) *Taint {
+	t := &Taint{Prog: prog, Source: source, MapOrder: mapOrder}
+	t.returns = make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		t.locals = make(map[*ast.FuncDecl]*LocalTaint)
+		prog.Funcs(func(fn *types.Func, decl *FuncDecl) {
+			if _, done := t.returns[fn]; done {
+				return
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return
+			}
+			lt := t.Local(decl)
+			if reason, ok := lt.returnsTaint(); ok {
+				t.returns[fn] = reason
+				changed = true
+			}
+		})
+	}
+	// Summaries are final; drop per-round locals so Local recomputes
+	// against the complete returns map.
+	t.locals = make(map[*ast.FuncDecl]*LocalTaint)
+	return t
+}
+
+// Returns reports whether fn's return value carries taint, with the
+// chain of reasons.
+func (t *Taint) Returns(fn *types.Func) (string, bool) {
+	reason, ok := t.returns[fn]
+	return reason, ok
+}
+
+// LocalTaint is the per-function view: which objects in one body carry
+// taint, and why.
+type LocalTaint struct {
+	t    *Taint
+	pkg  *Package
+	decl *ast.FuncDecl
+	objs map[types.Object]string
+}
+
+// Local returns the taint facts for one function body, computing and
+// caching them on first use.
+func (t *Taint) Local(decl *FuncDecl) *LocalTaint {
+	if lt, ok := t.locals[decl.Decl]; ok {
+		return lt
+	}
+	lt := &LocalTaint{t: t, pkg: decl.Pkg, decl: decl.Decl, objs: make(map[types.Object]string)}
+	t.locals[decl.Decl] = lt
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if lt.propagateAssign(n) {
+					changed = true
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if reason, ok := lt.Expr(v); ok {
+						for _, name := range n.Names {
+							if lt.mark(name, reason) {
+								changed = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if lt.propagateRange(n) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	if t.MapOrder {
+		lt.dropSorted()
+	}
+	return lt
+}
+
+// propagateAssign marks LHS objects when any RHS is tainted. Compound
+// assignment (+= etc) keeps existing taint and adds RHS taint.
+func (lt *LocalTaint) propagateAssign(as *ast.AssignStmt) bool {
+	var reason string
+	found := false
+	for _, rhs := range as.Rhs {
+		if r, ok := lt.Expr(rhs); ok {
+			reason, found = r, true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	changed := false
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if lt.mark(id, reason) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// propagateRange handles two flows: `for k, v := range tainted` taints
+// k and v, and (with MapOrder) append-accumulation inside a map range
+// taints the accumulator with the iteration order.
+func (lt *LocalTaint) propagateRange(rng *ast.RangeStmt) bool {
+	changed := false
+	if reason, ok := lt.Expr(rng.X); ok {
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := ast.Unparen(e).(*ast.Ident); e != nil && ok {
+				if lt.mark(id, reason) {
+					changed = true
+				}
+			}
+		}
+	}
+	if !lt.t.MapOrder {
+		return changed
+	}
+	xt := lt.pkg.Info.TypeOf(rng.X)
+	if xt == nil {
+		return changed
+	}
+	if _, isMap := xt.Underlying().(*types.Map); !isMap {
+		return changed
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := lt.pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if lt.mark(id, "is built in map-iteration order") {
+			changed = true
+		}
+		return true
+	})
+	return changed
+}
+
+// dropSorted clears map-order taint from objects later handed to a
+// sort call in this body (collect-then-sort).
+func (lt *LocalTaint) dropSorted() {
+	//simlint:allow maporder -- each entry is tested and deleted independently; the surviving set is the same in every order
+	for obj, reason := range lt.objs {
+		if reason != "is built in map-iteration order" {
+			continue
+		}
+		sorted := false
+		ast.Inspect(lt.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			f := CalleeFunc(lt.pkg.Info, call)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			if pkg := f.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if MentionsObject(lt.pkg.Info, arg, obj) {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			delete(lt.objs, obj)
+		}
+	}
+}
+
+// mark taints id's object; reports whether that was new.
+func (lt *LocalTaint) mark(id *ast.Ident, reason string) bool {
+	if id.Name == "_" {
+		return false
+	}
+	obj := lt.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	if _, done := lt.objs[obj]; done {
+		return false
+	}
+	lt.objs[obj] = reason
+	return true
+}
+
+// Object reports whether obj carries taint in this body.
+func (lt *LocalTaint) Object(obj types.Object) (string, bool) {
+	reason, ok := lt.objs[obj]
+	return reason, ok
+}
+
+// Expr reports whether e's value carries taint: it mentions a tainted
+// object, contains a source call, or calls a tainted-returning
+// function.
+func (lt *LocalTaint) Expr(e ast.Expr) (string, bool) {
+	var reason string
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if r, ok := lt.objs[lt.pkg.Info.ObjectOf(n)]; ok {
+				reason, found = r, true
+			}
+		case *ast.CallExpr:
+			if r, ok := lt.t.Source(lt.pkg, n); ok {
+				reason, found = "derives from "+r, true
+				return false
+			}
+			if fn := CalleeFunc(lt.pkg.Info, n); fn != nil {
+				if r, ok := lt.t.returns[fn]; ok {
+					reason, found = "flows through "+FuncName(fn)+", which "+r, true
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			// A closure's body is its own scope; taint does not leak
+			// out through the literal value itself.
+			return false
+		}
+		return !found
+	})
+	return reason, found
+}
+
+// returnsTaint reports whether any return path yields a tainted value
+// (explicit return expressions, or named results that were tainted by
+// assignment).
+func (lt *LocalTaint) returnsTaint() (string, bool) {
+	ft := lt.decl.Type
+	if ft.Results == nil || len(ft.Results.List) == 0 {
+		return "", false
+	}
+	// Named results: tainted by assignment anywhere in the body.
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if reason, ok := lt.objs[lt.pkg.Info.ObjectOf(name)]; ok {
+				return "returns a value that " + reason, true
+			}
+		}
+	}
+	var reason string
+	found := false
+	ast.Inspect(lt.decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+			return false // returns inside closures are not ours
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if r, ok := lt.Expr(res); ok {
+				reason, found = "returns a value that "+r, true
+				break
+			}
+		}
+		return !found
+	})
+	return reason, found
+}
