@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tests type-check a small throwaway module through the same
+// LoadPackages path cmd/simlint uses, so one load exercises the
+// loader, the call graph, the taint engine and the framework plumbing
+// against real go/types facts.
+
+const modA = `package a
+
+import (
+	"sort"
+
+	"tmod/b"
+)
+
+//simlint:allow maporder
+var bare int
+
+// Hop returns a wall-clock value through b.
+func Hop() int64 { return b.Now() }
+
+// Calls exists to give the call graph a second hop.
+func Calls() int64 { return Hop() }
+
+// Keys exports map-iteration order.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted is the clean collect-then-sort idiom.
+func Sorted(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+type T struct{ n int }
+
+// Bump is a method, for FuncName's receiver rendering.
+func (t *T) Bump() { t.n++ }
+
+//simlint:allow testlint -- suppressed by the comment line above
+func Above() {}
+
+func Same() {} //simlint:allow testlint -- suppressed on the same line
+
+func Flagged() {}
+`
+
+const modB = `package b
+
+import "time"
+
+// Now reads the wall clock.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Clean returns a constant.
+func Clean() int64 { return 42 }
+`
+
+var shared struct {
+	sync.Once
+	pkgs []*Package
+	prog *Program
+	err  error
+}
+
+// loadShared loads the throwaway module once per test binary.
+func loadShared(t *testing.T) ([]*Package, *Program) {
+	t.Helper()
+	shared.Do(func() {
+		dir, err := os.MkdirTemp("", "linttestmod")
+		if err != nil {
+			shared.err = err
+			return
+		}
+		files := map[string]string{
+			"go.mod": "module tmod\n\ngo 1.23\n",
+			"a/a.go": modA,
+			"b/b.go": modB,
+		}
+		for name, content := range files {
+			path := filepath.Join(dir, filepath.FromSlash(name))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				shared.err = err
+				return
+			}
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				shared.err = err
+				return
+			}
+		}
+		shared.pkgs, shared.err = LoadPackages(dir, "./...")
+		if shared.err == nil {
+			shared.prog = BuildProgram(shared.pkgs)
+		}
+	})
+	if shared.err != nil {
+		t.Fatalf("loading test module: %v", shared.err)
+	}
+	return shared.pkgs, shared.prog
+}
+
+// fn looks up a declared function by package path and name.
+func fn(t *testing.T, pkgs []*Package, path, name string) *types.Func {
+	t.Helper()
+	for _, p := range pkgs {
+		if p.Path != path {
+			continue
+		}
+		if obj, ok := p.Types.Scope().Lookup(name).(*types.Func); ok {
+			return obj
+		}
+	}
+	t.Fatalf("function %s.%s not found", path, name)
+	return nil
+}
+
+func TestLoadPackages(t *testing.T) {
+	pkgs, _ := loadShared(t)
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	if pkgs[0].Path != "tmod/a" || pkgs[1].Path != "tmod/b" {
+		t.Errorf("paths %q, %q: want tmod/a, tmod/b (sorted)", pkgs[0].Path, pkgs[1].Path)
+	}
+}
+
+func TestProgramCallGraph(t *testing.T) {
+	pkgs, prog := loadShared(t)
+	hop := fn(t, pkgs, "tmod/a", "Hop")
+	now := fn(t, pkgs, "tmod/b", "Now")
+	if prog.Decl(hop) == nil {
+		t.Fatal("Decl(Hop) is nil")
+	}
+	if prog.Decl(nil) != nil {
+		t.Error("Decl(nil) should be nil")
+	}
+	found := false
+	for _, c := range prog.Callees(hop) {
+		if c == now {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Callees(Hop) = %v, missing b.Now", prog.Callees(hop))
+	}
+}
+
+func TestFuncName(t *testing.T) {
+	pkgs, _ := loadShared(t)
+	if got := FuncName(fn(t, pkgs, "tmod/b", "Now")); got != "b.Now" {
+		t.Errorf("FuncName(Now) = %q, want b.Now", got)
+	}
+	var bump *types.Func
+	for _, p := range pkgs {
+		if p.Path != "tmod/a" {
+			continue
+		}
+		tObj := p.Types.Scope().Lookup("T")
+		named := tObj.Type().(*types.Named)
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == "Bump" {
+				bump = named.Method(i)
+			}
+		}
+	}
+	if bump == nil {
+		t.Fatal("method T.Bump not found")
+	}
+	if got := FuncName(bump); got != "T.Bump" {
+		t.Errorf("FuncName(Bump) = %q, want T.Bump", got)
+	}
+	if got := FuncName(nil); got != "<unknown>" {
+		t.Errorf("FuncName(nil) = %q", got)
+	}
+}
+
+func TestFixpointPropagation(t *testing.T) {
+	pkgs, prog := loadShared(t)
+	why := prog.Fixpoint(func(f *types.Func, decl *FuncDecl) (string, bool) {
+		if f.Name() == "Now" {
+			return "reads the clock", true
+		}
+		return "", false
+	})
+	if why[fn(t, pkgs, "tmod/b", "Now")] != "reads the clock" {
+		t.Errorf("seed reason lost: %q", why[fn(t, pkgs, "tmod/b", "Now")])
+	}
+	if got := why[fn(t, pkgs, "tmod/a", "Hop")]; got != "calls b.Now, which reads the clock" {
+		t.Errorf("Hop reason = %q", got)
+	}
+	if got := why[fn(t, pkgs, "tmod/a", "Calls")]; !strings.HasPrefix(got, "calls a.Hop, which ") {
+		t.Errorf("Calls reason = %q, want two-hop chain", got)
+	}
+	if _, ok := why[fn(t, pkgs, "tmod/b", "Clean")]; ok {
+		t.Error("Clean should not be in the fixpoint")
+	}
+}
+
+func TestTaintSummaries(t *testing.T) {
+	pkgs, prog := loadShared(t)
+	source := func(pkg *Package, call *ast.CallExpr) (string, bool) {
+		f := CalleeFunc(pkg.Info, call)
+		if f != nil && f.Pkg() != nil && f.Pkg().Path() == "time" && f.Name() == "Now" {
+			return "time.Now", true
+		}
+		return "", false
+	}
+	ta := NewTaint(prog, source, true)
+	if reason, ok := ta.Returns(fn(t, pkgs, "tmod/b", "Now")); !ok || !strings.Contains(reason, "time.Now") {
+		t.Errorf("Returns(b.Now) = %q, %v", reason, ok)
+	}
+	if reason, ok := ta.Returns(fn(t, pkgs, "tmod/a", "Hop")); !ok || !strings.Contains(reason, "b.Now") {
+		t.Errorf("Returns(a.Hop) = %q, %v: want taint through b.Now", reason, ok)
+	}
+	if reason, ok := ta.Returns(fn(t, pkgs, "tmod/a", "Keys")); !ok || !strings.Contains(reason, "map-iteration order") {
+		t.Errorf("Returns(a.Keys) = %q, %v: want map-order taint", reason, ok)
+	}
+	if reason, ok := ta.Returns(fn(t, pkgs, "tmod/a", "Sorted")); ok {
+		t.Errorf("Returns(a.Sorted) = %q: collect-then-sort must stay clean", reason)
+	}
+	if _, ok := ta.Returns(fn(t, pkgs, "tmod/b", "Clean")); ok {
+		t.Error("Returns(b.Clean) should be untainted")
+	}
+}
+
+// TestAllowReason: an allow comment without "-- reason" still
+// suppresses but raises its own framework finding.
+func TestAllowReason(t *testing.T) {
+	pkgs, _ := loadShared(t)
+	diags := RunAnalyzers(pkgs, nil)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the bare-allow finding: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "allowreason" {
+		t.Errorf("analyzer = %q, want allowreason", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "needs a written reason") {
+		t.Errorf("message = %q", d.Message)
+	}
+	if !strings.HasSuffix(d.Pos.Filename, "a.go") {
+		t.Errorf("finding at %s, want a.go", d.Pos.Filename)
+	}
+}
+
+// testlintAnalyzer flags the three suppression-demo functions; only
+// the unsuppressed one must survive.
+func TestSuppression(t *testing.T) {
+	pkgs, _ := loadShared(t)
+	a := &Analyzer{
+		Name: "testlint",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					switch fd.Name.Name {
+					case "Above", "Same", "Flagged":
+						pass.Reportf(fd.Pos(), "func %s flagged", fd.Name.Name)
+					}
+				}
+			}
+		},
+	}
+	var got []Diagnostic
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{a}) {
+		if d.Analyzer == "testlint" {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Message, "Flagged") {
+		t.Fatalf("suppression failed: got %v, want only Flagged", got)
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("hello cruel world")
+	edits := []Edit{
+		{Filename: "f", Start: 6, End: 12, NewText: ""},
+		{Filename: "f", Start: 6, End: 12, NewText: ""}, // duplicate: deduped
+		{Filename: "f", Start: 0, End: 5, NewText: "goodbye"},
+	}
+	out, err := ApplyEdits(src, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "goodbye world" {
+		t.Errorf("ApplyEdits = %q", out)
+	}
+
+	if _, err := ApplyEdits(src, []Edit{
+		{Start: 0, End: 10, NewText: "x"},
+		{Start: 5, End: 12, NewText: "y"},
+	}); err == nil {
+		t.Error("overlapping edits must error")
+	}
+	if _, err := ApplyEdits(src, []Edit{{Start: 5, End: 99, NewText: "x"}}); err == nil {
+		t.Error("out-of-range edit must error")
+	}
+}
+
+// TestSortedRangeFix drives ReportfFix end to end: a throwaway
+// analyzer suggests the sorted-keys rewrite for a.Keys, and applying
+// the resolved edits yields compilable sorted iteration plus the
+// import insertions.
+func TestSortedRangeFix(t *testing.T) {
+	pkgs, _ := loadShared(t)
+	a := &Analyzer{
+		Name: "fixtest",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Name.Name != "Keys" {
+						continue
+					}
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						rng, ok := n.(*ast.RangeStmt)
+						if !ok {
+							return true
+						}
+						edits, ok := SortedRangeFix(pass, f, rng)
+						if !ok {
+							t.Error("SortedRangeFix declined the Keys loop")
+							return false
+						}
+						pass.ReportfFix(rng.Pos(), edits, "map order escapes")
+						return false
+					})
+				}
+			}
+		},
+	}
+	var diags []Diagnostic
+	for _, d := range RunAnalyzers(pkgs, []*Analyzer{a}) {
+		if d.Analyzer == "fixtest" {
+			diags = append(diags, d)
+		}
+	}
+	if len(diags) != 1 || len(diags[0].Edits) == 0 {
+		t.Fatalf("want one diagnostic with edits, got %v", diags)
+	}
+	byFile := EditsByFile(diags)
+	if len(byFile) != 1 {
+		t.Fatalf("edits span %d files, want 1", len(byFile))
+	}
+	for name, edits := range byFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := ApplyEdits(src, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{
+			"for _, k := range slices.Sorted(maps.Keys(m)) {",
+			"\"maps\"",
+			"\"slices\"",
+		} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("fixed source missing %q:\n%s", want, out)
+			}
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", `package d
+
+//sim:hotpath trailing text
+func Hot() {}
+
+// plain comment
+func Cold() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, cold *ast.FuncDecl
+	for _, decl := range f.Decls {
+		fd := decl.(*ast.FuncDecl)
+		switch fd.Name.Name {
+		case "Hot":
+			hot = fd
+		case "Cold":
+			cold = fd
+		}
+	}
+	if !HasDirective(hot.Doc, "sim:hotpath") {
+		t.Error("Hot should carry the directive")
+	}
+	if HasDirective(cold.Doc, "sim:hotpath") {
+		t.Error("Cold should not carry the directive")
+	}
+	if HasDirective(nil, "sim:hotpath") {
+		t.Error("nil doc has no directives")
+	}
+}
+
+func TestIsUint64(t *testing.T) {
+	if !IsUint64(types.Typ[types.Uint64]) {
+		t.Error("uint64 not recognized")
+	}
+	if IsUint64(types.Typ[types.Int64]) || IsUint64(nil) {
+		t.Error("non-uint64 accepted")
+	}
+}

@@ -74,17 +74,24 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 			targets = append(targets, p)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
-
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("lint: no export data for %q", path)
-		}
-		return os.Open(file)
-	})
+	imp := &sourceFirstImporter{
+		checked: make(map[string]*types.Package),
+		export: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
 
+	// `go list -deps` emits dependencies before dependents; checking
+	// targets in that order lets a target's import of another target
+	// resolve to the source-checked package rather than export data, so
+	// a *types.Func seen at a call site in one package is the same
+	// object as its definition in another — the identity the call graph
+	// and taint summaries key on.
 	var pkgs []*Package
 	for _, t := range targets {
 		files := make([]*ast.File, 0, len(t.GoFiles))
@@ -101,9 +108,26 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
 		}
+		imp.checked[t.ImportPath] = tpkg
 		pkgs = append(pkgs, NewPackage(t.ImportPath, fset, files, tpkg, info))
 	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// sourceFirstImporter resolves imports of already-source-checked target
+// packages to those packages (preserving object identity across the
+// load) and everything else through compiler export data.
+type sourceFirstImporter struct {
+	checked map[string]*types.Package
+	export  types.Importer
+}
+
+func (si *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.checked[path]; ok {
+		return p, nil
+	}
+	return si.export.Import(path)
 }
 
 // NewTypesInfo returns a types.Info with every fact map analyzers rely
