@@ -1,0 +1,16 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/seedflow"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, seedflow.Analyzer, "seedflowfix", "seedfloworder")
+}
+
+func TestSuggestedFix(t *testing.T) {
+	linttest.RunFix(t, seedflow.Analyzer, "seedfloworder")
+}

@@ -1,0 +1,16 @@
+// Package resultio is a fixture stand-in for the repo's result-file
+// writers: seedflow treats every function here as a determinism sink.
+package resultio
+
+// Suite mimics a benchmark-suite document.
+type Suite struct {
+	Cycles uint64
+	WallNs int64
+	Keys   []int
+}
+
+// WriteSuite mimics a result writer.
+func WriteSuite(s Suite) {}
+
+// WriteValue mimics a scalar result writer.
+func WriteValue(v int64) {}

@@ -1,0 +1,103 @@
+// Fixture for the seedflow analyzer: nondeterministic values flowing
+// into result/cache-key sinks, directly and across function calls.
+package seedflowfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"resultio"
+	"seedhelpers"
+	"serve"
+)
+
+// direct taint: a wall-clock read passed straight to a result writer.
+func direct() {
+	resultio.WriteValue(time.Now().UnixNano()) // want `argument to resultio.WriteValue derives from time.Now`
+}
+
+// local interprocedural taint: the source hides one call away.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func localHop() {
+	v := stamp()
+	resultio.WriteValue(v) // want `flows through seedflowfix.stamp`
+}
+
+// cross-package interprocedural taint: source lives in seedhelpers.
+func crossPackage() {
+	resultio.WriteValue(seedhelpers.Stamp()) // want `flows through seedhelpers.Stamp`
+}
+
+// chained cross-package taint: two hops through seedhelpers.
+func chained(t0 time.Time) {
+	ns := seedhelpers.ElapsedNs(t0)
+	resultio.WriteValue(ns) // want `flows through seedhelpers.ElapsedNs`
+}
+
+// taint through a struct: the suite as a whole becomes tainted.
+func viaStruct(t0 time.Time) {
+	el := time.Since(t0)
+	s := resultio.Suite{Cycles: 1, WallNs: int64(el)}
+	resultio.WriteSuite(s) // want `argument to resultio.WriteSuite`
+}
+
+// global rand into a cache key.
+func randKey() string {
+	return serve.CellKey(int64(rand.Intn(10))) // want `argument to serve.CellKey derives from the global rand.Intn source`
+}
+
+// map order into a result writer.
+func mapOrder(m map[int]int) {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	resultio.WriteSuite(resultio.Suite{Keys: ks}) // want `argument to resultio.WriteSuite is built in map-iteration order`
+}
+
+// mapOrder's loop is also flagged because ks escapes via return.
+func mapOrderReturn(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m { // want `ks is built in map-iteration order and returned`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// suppression must silence the finding (reason present).
+func suppressed() {
+	resultio.WriteValue(time.Now().UnixNano()) //simlint:allow seedflow -- fixture: suppression must silence the finding
+}
+
+// clean: seeded rand is fine.
+func seeded() {
+	r := rand.New(rand.NewSource(42))
+	resultio.WriteValue(int64(r.Intn(10)))
+}
+
+// clean: collect-then-sort drops the map-order taint.
+func sortedKeys(m map[int]int) {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	resultio.WriteSuite(resultio.Suite{Keys: ks})
+}
+
+// clean: order-insensitive reduction in a helper is not taint.
+func cleanHelper(m map[int]int) {
+	resultio.WriteValue(int64(seedhelpers.Sorted(m)))
+}
+
+// clean: wall clock that never reaches a sink is the CLI's business.
+func cleanTiming(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// clean: non-sink callee in the serve package.
+func cleanServe() {
+	serve.Submit(time.Now().UnixNano())
+}

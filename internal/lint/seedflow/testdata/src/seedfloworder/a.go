@@ -1,0 +1,38 @@
+// Fixture for seedflow's suggested fix: functions exporting
+// map-iteration order via returned slices. The golden a.go.fixed
+// asserts the sorted-keys rewrite simlint -fix applies.
+package seedfloworder
+
+import (
+	"sort"
+)
+
+// Keys exports the map's iteration order to every caller.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want `out is built in map-iteration order and returned`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Values needs the value binding re-established by the rewrite.
+func Values(m map[string]uint64) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k, v := range m { // want `out is built in map-iteration order and returned`
+		if k != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SortedKeys is clean: the canonical collect-then-sort idiom.
+func SortedKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

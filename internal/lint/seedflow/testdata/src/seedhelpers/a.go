@@ -1,0 +1,25 @@
+// Package seedhelpers provides tainted helpers in a *different*
+// fixture package, so the seedflow test proves cross-package
+// interprocedural flow: the sink call sites live in seedflowfix, the
+// sources live here.
+package seedhelpers
+
+import "time"
+
+// Stamp returns a wall-clock reading; callers inherit its taint.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed launders a wall-clock duration through two calls.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// ElapsedNs adds one more hop to the chain.
+func ElapsedNs(t0 time.Time) int64 { return int64(Elapsed(t0)) }
+
+// Sorted is clean: the map order never escapes.
+func Sorted(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package serve is a fixture stand-in for the sweep service: functions
+// ending in Key build content addresses, which seedflow treats as
+// determinism sinks.
+package serve
+
+import "fmt"
+
+// CellKey mimics the content-addressed cache-key constructor.
+func CellKey(parts ...int64) string { return fmt.Sprint(parts) }
+
+// Submit is not a sink: only key constructors are.
+func Submit(v int64) {}
