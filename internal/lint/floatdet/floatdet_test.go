@@ -1,0 +1,16 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/floatdet"
+	"uvmsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, floatdet.Analyzer, "floatdetfix", "floatdetorder")
+}
+
+func TestSuggestedFix(t *testing.T) {
+	linttest.RunFix(t, floatdet.Analyzer, "floatdetorder")
+}

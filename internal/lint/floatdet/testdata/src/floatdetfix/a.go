@@ -1,0 +1,125 @@
+// Fixture for the floatdet analyzer: order-sensitive float
+// accumulation in unordered loops, directly and through calls.
+package floatdetfix
+
+import "floathelp"
+
+type acc struct{ total float64 }
+
+func (a *acc) add(v float64) { a.total += v }
+
+// direct: float compound-assign in a map-range loop.
+func direct(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation into sum inside a range-over-map loop`
+	}
+	return sum
+}
+
+// assignForm: the spelled-out x = x + v shape.
+func assignForm(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum = sum + v // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+// fromChannel: receive order across senders is scheduling-dependent.
+func fromChannel(ch chan float64) float64 {
+	var sum float64
+	for v := range ch {
+		sum += v // want `inside a range-over-channel loop`
+	}
+	return sum
+}
+
+// viaMethod: the accumulation hides behind a pointer-receiver method.
+func viaMethod(m map[string]float64) float64 {
+	var a acc
+	for _, v := range m {
+		a.add(v) // want `call to acc.add inside a range-over-map loop accumulates floating-point values into state shared across calls`
+	}
+	return a.total
+}
+
+// crossPackage: the accumulator helper lives in floathelp.
+func crossPackage(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		floathelp.AddTo(&sum, v) // want `call to floathelp.AddTo`
+	}
+	return sum
+}
+
+// addBoth inherits AddTo's summary; chained proves two-hop propagation.
+func addBoth(p *float64, v float64) { floathelp.AddTo(p, v) }
+
+func chained(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		addBoth(&sum, v) // want `calls floathelp.AddTo, which accumulates`
+	}
+	return sum
+}
+
+// globalSink: package-level accumulation in another package.
+func globalSink(m map[string]float64) {
+	for _, v := range m {
+		floathelp.Record(v) // want `call to floathelp.Record`
+	}
+}
+
+// suppressed: a reason-carrying allow silences the finding.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //simlint:allow floatdet -- fixture: suppression must silence the finding
+	}
+	return sum
+}
+
+// clean: integer accumulation commutes exactly.
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// clean: slice iteration is ordered.
+func sliceSum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// clean: the accumulator resets every key, so per-key results are
+// order-independent even though the inner loop runs under a map range.
+func perKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		sum := 0.0
+		for _, v := range vs {
+			sum += v
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// clean: a float *assignment* that is not an accumulation (max over a
+// map commutes), calling a helper with no escaping accumulation.
+func cleanHelper(m map[string]float64) float64 {
+	best := 0.0
+	for _, v := range m {
+		if w := floathelp.Mean([]float64{v}); w > best {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,24 @@
+// Fixture for floatdet's suggested fix: float accumulation over map
+// ranges rewritten to sorted-key iteration. The golden a.go.fixed also
+// asserts the new-import-block path (this file imports nothing).
+package floatdetorder
+
+// Sum accumulates in map order; the fix iterates sorted keys.
+func Sum(m map[int]float64) float64 {
+	var sum float64
+	for k := range m {
+		sum += m[k] // want `floating-point accumulation into sum`
+	}
+	return sum
+}
+
+// Weighted needs the value binding re-established by the rewrite.
+func Weighted(m map[string]float64) float64 {
+	var total float64
+	for k, v := range m {
+		if k > "a" {
+			total += v // want `floating-point accumulation into total`
+		}
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package floathelp provides accumulator helpers in a *different*
+// fixture package, so the floatdet test proves cross-package
+// interprocedural summaries: the unordered loops live in floatdetfix,
+// the shared-state accumulation lives here.
+package floathelp
+
+// Total is a package-level accumulator; Record escapes through it.
+var Total float64
+
+// AddTo accumulates into the caller's accumulator through a pointer.
+func AddTo(p *float64, v float64) { *p += v }
+
+// Record accumulates into package state.
+func Record(v float64) { Total += v }
+
+// Mean is clean: the accumulation never leaves its locals, and the
+// slice iteration is ordered.
+func Mean(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	if len(vs) == 0 {
+		return 0
+	}
+	return sum / float64(len(vs))
+}
