@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/linttest"
+	"uvmsim/internal/lint/lockhold"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, lockhold.Analyzer, "lockholdfix")
+}

@@ -1,0 +1,27 @@
+// Package lockhelp provides blocking helpers in a *different* fixture
+// package, so the lockhold test proves cross-package may-block
+// summaries: the critical sections live in lockholdfix, the channel
+// operations live here.
+package lockhelp
+
+// Drain receives until the channel closes; callers block.
+func Drain(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+// Notify performs a channel send.
+func Notify(ch chan<- int, v int) { ch <- v }
+
+// Peek is clean: a non-blocking receive behind a default case.
+func Peek(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,134 @@
+// Fixture for the lockhold analyzer: blocking operations inside
+// mutex-guarded critical sections, directly and through calls.
+package lockholdfix
+
+import (
+	"sync"
+	"time"
+
+	"lockhelp"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// send: a channel send between Lock and Unlock.
+func send(b *box, ch chan int) {
+	b.mu.Lock()
+	ch <- b.n // want `holding b.mu \(locked at line 20\) across a channel send`
+	b.mu.Unlock()
+}
+
+// deferred: a deferred unlock holds the lock for the whole list.
+func deferred(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := <-ch // want `across a channel receive`
+	b.n = v
+}
+
+// released: the lock is dropped before the receive — clean.
+func released(b *box, ch chan int) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	<-ch
+}
+
+// selectNoDefault: a default-less select parks the goroutine.
+func selectNoDefault(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `across a select with no default case`
+	case v := <-ch:
+		b.n = v
+	}
+}
+
+// selectDefault: clean — the select cannot block.
+func selectDefault(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-ch:
+		b.n = v
+	default:
+	}
+}
+
+// sleepy: sleeping under an RLock stalls writers.
+func sleepy(b *box) {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want `holding b.rw \(locked at line 64\) across a time.Sleep`
+	b.rw.RUnlock()
+}
+
+// waits: WaitGroup.Wait under a lock is a deadlock seed.
+func waits(b *box, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want `across a WaitGroup.Wait call`
+}
+
+// drains: interprocedural — the blocking loop hides in lockhelp.
+func drains(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = lockhelp.Drain(ch) // want `across a call to lockhelp.Drain, which performs a range over a channel`
+}
+
+// notify is a local helper whose send the summary surfaces.
+func notify(ch chan int, v int) { ch <- v }
+
+func localHop(b *box, ch chan int) {
+	b.mu.Lock()
+	notify(ch, b.n) // want `across a call to lockholdfix.notify, which performs a channel send`
+	b.mu.Unlock()
+}
+
+// relay inherits Notify's summary; chained proves two-hop propagation.
+func relay(ch chan int, v int) { lockhelp.Notify(ch, v) }
+
+func chained(b *box, ch chan int) {
+	b.mu.Lock()
+	relay(ch, b.n) // want `calls lockhelp.Notify, which performs a channel send`
+	b.mu.Unlock()
+}
+
+// spawns: clean — the goroutine body runs outside the section.
+func spawns(b *box, done chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := b.n
+	go func() { done <- n }()
+}
+
+// peeks: clean — the helper is non-blocking behind its default case.
+func peeks(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v, ok := lockhelp.Peek(ch); ok {
+		b.n = v
+	}
+}
+
+// branchRelease: the unlock inside the taken branch ends the scan.
+func branchRelease(b *box, ch chan int, fast bool) {
+	b.mu.Lock()
+	if fast {
+		b.mu.Unlock()
+		<-ch
+		return
+	}
+	b.mu.Unlock()
+}
+
+// suppressed: a reason-carrying allow silences the finding.
+func suppressed(b *box, ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n //simlint:allow lockhold -- fixture: suppression must silence the finding
+}
