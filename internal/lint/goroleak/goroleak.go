@@ -1,0 +1,243 @@
+// Package goroleak flags `go` statements that launch goroutines with
+// no provable shutdown path. A leaked goroutine pins its stack, its
+// captured references and — in this repository — often a channel the
+// rest of the pipeline still selects on; under `go test -race` and in
+// the long-running serve daemon the leaks compound until the process
+// is mostly dead weight.
+//
+// A goroutine is accepted when its body provably finishes:
+//
+//   - it terminates structurally (no infinite `for` loop), e.g. a
+//     bounded loop, a one-shot send, or a range over a channel that
+//     ends when the sender closes it;
+//   - every infinite loop has an exit: a return, a (possibly labeled)
+//     break or goto, a panic, or an os.Exit/runtime.Goexit/log.Fatal
+//     call — the shape a `case <-ctx.Done(): return` select produces.
+//
+// The check is interprocedural: `go w.loop()` is traced into loop's
+// declaration and, depth-limited, into its direct callees anywhere in
+// the load. Two launch shapes cannot be traced and are flagged
+// outright: calls to functions declared outside the load (e.g.
+// `go srv.Serve(ln)`) and calls through function-typed values. When
+// the surrounding code guarantees termination by other means — the
+// process exits with the daemon, the value is always a terminating
+// closure — say so with `//simlint:allow goroleak -- reason`.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"uvmsim/internal/lint"
+)
+
+// Analyzer is the goroleak checker.
+var Analyzer = &lint.Analyzer{
+	Name: "goroleak",
+	Doc:  "flags goroutine launches with no provable shutdown path (infinite loops without exits, untraceable targets)",
+	Run:  run,
+}
+
+// maxDepth bounds the callee trace from a go statement.
+const maxDepth = 5
+
+func run(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			check(pass, g)
+			return true
+		})
+	}
+}
+
+func check(pass *lint.Pass, g *ast.GoStmt) {
+	advice := "add a shutdown path (a context Done case, a closed channel, or a bound)"
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if reason, ok := leaky(pass.Prog, pass.Info, fun.Body, maxDepth, nil); ok {
+			pass.Reportf(g.Pos(), "goroutine %s; %s", reason, advice)
+		}
+		return
+	case *ast.Ident:
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); isBuiltin {
+			return // go close(ch) and friends terminate immediately
+		}
+	}
+	fn := lint.CalleeFunc(pass.Info, g.Call)
+	if fn == nil {
+		pass.Reportf(g.Pos(), "goroutine target is a function value; cannot prove a shutdown path — launch a named function or allow with a reason")
+		return
+	}
+	decl := pass.Prog.Decl(fn)
+	if decl == nil {
+		pass.Reportf(g.Pos(), "goroutine runs %s, which is declared outside this load; cannot prove a shutdown path — wrap it so cancellation stops it, or allow with a reason", lint.FuncName(fn))
+		return
+	}
+	visited := map[*types.Func]bool{fn: true}
+	if reason, ok := leaky(pass.Prog, decl.Pkg.Info, decl.Decl.Body, maxDepth, visited); ok {
+		pass.Reportf(g.Pos(), "goroutine runs %s, which %s; %s", lint.FuncName(fn), reason, advice)
+	}
+}
+
+// leaky reports whether body — or, transitively, a declared direct
+// callee — contains an infinite for loop with no exit. The returned
+// reason narrates the call chain.
+func leaky(prog *lint.Program, info *types.Info, body *ast.BlockStmt, depth int, visited map[*types.Func]bool) (string, bool) {
+	if loopsForever(info, body) {
+		return "loops forever without a return, break or exit", true
+	}
+	if depth == 0 {
+		return "", false
+	}
+	var reason string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// A closure may never run here; a nested go statement is its
+			// own launch, checked where it appears.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lint.CalleeFunc(info, call)
+		if fn == nil || visited[fn] {
+			return true
+		}
+		decl := prog.Decl(fn)
+		if decl == nil {
+			return true // external callees are assumed to return
+		}
+		if visited == nil {
+			visited = make(map[*types.Func]bool)
+		}
+		visited[fn] = true
+		if r, ok := leaky(prog, decl.Pkg.Info, decl.Decl.Body, depth-1, visited); ok {
+			reason = "calls " + lint.FuncName(fn) + ", which " + r
+			return false
+		}
+		return true
+	})
+	return reason, reason != ""
+}
+
+// loopsForever reports whether body contains a `for { ... }` loop
+// (nil condition) with no exit statement.
+func loopsForever(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasExit(info, n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasExit reports whether the infinite loop can stop: a return, a
+// break/goto binding to it (unlabeled at its own level, or any labeled
+// one), or a never-returning call (panic, os.Exit, runtime.Goexit,
+// log.Fatal*). Unlabeled breaks inside nested loops, switches and
+// selects bind to those constructs and do not count.
+func hasExit(info *types.Info, loop *ast.ForStmt) bool {
+	exit := false
+	var scan func(n ast.Node, breakable bool)
+	scan = func(n ast.Node, breakable bool) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt:
+				return false
+			case *ast.ReturnStmt:
+				exit = true
+				return false
+			case *ast.BranchStmt:
+				if m.Tok == token.BREAK || m.Tok == token.GOTO {
+					if m.Label != nil || breakable {
+						exit = true
+					}
+				}
+				return false
+			case *ast.ForStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.RangeStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				scan(switchBody(m), false)
+				return false
+			case *ast.CallExpr:
+				if neverReturns(info, m) {
+					exit = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	scan(loop.Body, true)
+	return exit
+}
+
+// switchBody returns the clause block of a switch/select statement.
+func switchBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.SwitchStmt:
+		return n.Body
+	case *ast.TypeSwitchStmt:
+		return n.Body
+	case *ast.SelectStmt:
+		return n.Body
+	}
+	return nil
+}
+
+// neverReturns recognizes calls that terminate the goroutine or the
+// process.
+func neverReturns(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return b.Name() == "panic"
+		}
+	}
+	fn := lint.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+			return true
+		}
+	}
+	return false
+}

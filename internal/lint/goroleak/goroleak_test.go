@@ -1,0 +1,12 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"uvmsim/internal/lint/goroleak"
+	"uvmsim/internal/lint/linttest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	linttest.Run(t, goroleak.Analyzer, "goroleakfix")
+}

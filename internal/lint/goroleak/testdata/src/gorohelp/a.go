@@ -1,0 +1,21 @@
+// Package gorohelp provides goroutine bodies in a *different* fixture
+// package, so the goroleak test proves cross-package tracing: the go
+// statements live in goroleakfix, the loops live here.
+package gorohelp
+
+// Spin loops forever with no exit; goroutines running it never stop.
+func Spin(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// Run hides Spin one call deeper.
+func Run(ch chan int) { Spin(ch) }
+
+// Pump is clean: it ends when the sender closes in.
+func Pump(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}

@@ -1,0 +1,100 @@
+// Fixture for the goroleak analyzer: goroutine launches with and
+// without provable shutdown paths.
+package goroleakfix
+
+import (
+	"context"
+	"net/http"
+
+	"gorohelp"
+)
+
+// forever: an infinite loop with no exit leaks the goroutine.
+func forever(ch chan int) {
+	go func() { // want `goroutine loops forever without a return, break or exit`
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+// worker loops forever; runsWorker launches it by name.
+func worker(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+func runsWorker(ch chan int) {
+	go worker(ch) // want `goroutine runs goroleakfix.worker, which loops forever`
+}
+
+// runsHelper: the loop hides two calls away in another package.
+func runsHelper(ch chan int) {
+	go gorohelp.Run(ch) // want `runs gorohelp.Run, which calls gorohelp.Spin, which loops forever`
+}
+
+// external: a callee declared outside the load cannot be traced.
+func external(srv *http.Server) {
+	go srv.ListenAndServe() // want `declared outside this load`
+}
+
+// funcValue: a function-typed value cannot be traced either.
+func funcValue(fn func()) {
+	go fn() // want `function value; cannot prove`
+}
+
+// clean: context cancellation provides the exit.
+func withContext(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// clean: the helper ends when its input channel closes.
+func drains(in, out chan int) {
+	go gorohelp.Pump(in, out)
+}
+
+// clean: a bounded loop terminates on its own.
+func bounded(ch chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// clean: a labeled break exits the outer loop.
+func labeled(done, ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// clean: builtins terminate immediately.
+func closes(ch chan int) {
+	go close(ch)
+}
+
+// suppressed: a reason-carrying allow silences the finding.
+func suppressed(ch chan int) {
+	go func() { //simlint:allow goroleak -- fixture: suppression must silence the finding
+		for {
+			ch <- 1
+		}
+	}()
+}
