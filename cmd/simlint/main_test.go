@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -42,7 +43,10 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, ".", &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit %d, stderr: %s", code, stderr.String())
 	}
-	for _, name := range []string{"eventseq", "hotalloc", "maporder", "satarith", "statsowner", "wallclock"} {
+	for _, name := range []string{
+		"eventseq", "floatdet", "goroleak", "hotalloc", "lockhold",
+		"maporder", "satarith", "seedflow", "statsowner", "wallclock",
+	} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
 		}
@@ -56,6 +60,51 @@ func TestOnlyUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "unknown analyzer") {
 		t.Errorf("stderr missing diagnostic: %s", stderr.String())
+	}
+}
+
+// TestFixRewrites drives -fix end to end on a throwaway module: the
+// first run rewrites the map-order loop to sorted-key iteration, the
+// second run is clean — the convergence property the lint-fix-check CI
+// step relies on.
+func TestFixRewrites(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpfix\n\ngo 1.23\n")
+	write("a.go", `package tmpfix
+
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "seedflow", "-fix", "./..."}, dir, &stdout, &stderr); code != 1 {
+		t.Fatalf("first -fix run: expected exit 1 (finding reported), got %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "slices.Sorted(maps.Keys(m))") {
+		t.Fatalf("fix not applied:\n%s", src)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "seedflow", "-fix", "./..."}, dir, &stdout, &stderr); code != 0 {
+		t.Fatalf("second -fix run: expected clean exit, got %d\nstdout:\n%s\nstderr:\n%s\nsource:\n%s",
+			code, stdout.String(), stderr.String(), src)
 	}
 }
 
