@@ -108,6 +108,7 @@ func runServeLoad(path string, opt uvmsim.ExperimentOptions, clients int, stdout
 		return err
 	}
 	srv := &http.Server{Handler: s.Handler()}
+	//simlint:allow goroleak -- Serve returns once the deferred srv.Close below tears the listener down
 	go srv.Serve(ln) //nolint:errcheck // shut down via Close below
 	defer srv.Close()
 	c := &serve.Client{BaseURL: "http://" + ln.Addr().String()}
@@ -207,6 +208,7 @@ func runServeLoad(path string, opt uvmsim.ExperimentOptions, clients int, stdout
 		defer f.Close()
 		out = f
 	}
+	//simlint:allow seedflow -- NsPerOp is a wall-clock measurement by design; bench baselines gate on drift, the deterministic fields are SimCycles/Iterations
 	if err := resultio.WriteBenchSuite(out, suite); err != nil {
 		return err
 	}

@@ -213,6 +213,7 @@ func runSmoke(o options, stdout, stderr io.Writer) error {
 		return err
 	}
 	srv := &http.Server{Handler: s.Handler()}
+	//simlint:allow goroleak -- Serve returns once the deferred srv.Close below tears the listener down
 	go srv.Serve(ln) //nolint:errcheck // shut down via Close below
 	defer srv.Close()
 	c := &serve.Client{BaseURL: "http://" + ln.Addr().String()}
