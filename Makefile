@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke bench-cxl bench-cxl-smoke colo-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
+.PHONY: build test short vet lint lint-fix-check tools staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke bench-cxl bench-cxl-smoke colo-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -25,6 +25,22 @@ vet:
 # runs — no install step, no network.
 lint:
 	$(GO) run ./cmd/simlint ./...
+
+# Convergence gate for the suggested-fix engine: on a clean tree,
+# `simlint -fix` must rewrite nothing — a diff means a committed file
+# carries an unapplied suggested fix (or an analyzer's fix does not
+# converge). Any finding fails the first command; any rewrite fails the
+# second.
+lint-fix-check:
+	$(GO) run ./cmd/simlint -fix ./...
+	git diff --exit-code -- '*.go'
+
+# Install the pinned external analyzers. CI runs this before
+# staticcheck/govulncheck so the workflow and the Makefile cannot
+# disagree about versions; run it locally to match CI exactly.
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # Static analysis beyond vet and simlint. staticcheck is not vendored;
 # locally the target skips with a notice when the binary is absent, but
@@ -145,8 +161,9 @@ colo-smoke:
 	grep -q 'checksum=' /tmp/uvmsim-colo-seq.txt
 
 # Per-package coverage floor (70%) for the learned-policy and
-# multi-tier surfaces: the mm pipeline, the learn primitives, the tier
-# topology, the per-GPU counter file, and the CXL controller.
+# multi-tier surfaces (the mm pipeline, the learn primitives, the tier
+# topology, the per-GPU counter file, the CXL controller) and the
+# simlint framework plus its interprocedural analyzers.
 cover:
 	./scripts/cover.sh
 
@@ -161,9 +178,9 @@ smoke:
 	grep -q '"version": 1' /tmp/uvmsim-smoke-metrics.json
 	grep -q '"runs"' /tmp/uvmsim-smoke-metrics.json
 
-# What CI runs (.github/workflows/ci.yml): vet + simlint + staticcheck
-# + govulncheck, build, race-detected tests, the coverage floor, the
-# observability smoke, the tournament smoke, the sweep-service smoke,
-# the co-location smoke + baseline gate, then the bench-smoke drift
-# gate.
-ci: vet lint staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke colo-smoke bench-cxl-smoke bench-smoke
+# What CI runs (.github/workflows/ci.yml): vet + simlint + the fix
+# convergence gate + staticcheck + govulncheck, build, race-detected
+# tests, the coverage floor, the observability smoke, the tournament
+# smoke, the sweep-service smoke, the co-location smoke + baseline
+# gate, then the bench-smoke drift gate.
+ci: vet lint lint-fix-check staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke colo-smoke bench-cxl-smoke bench-smoke
