@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint lint-fix-check tools staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke bench-cxl bench-cxl-smoke colo-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
+.PHONY: build test short vet lint lint-fix-check tools staticcheck govulncheck race bench bench-baseline bench-cluster-baseline bench-smoke bench-scale1 bench-scale1-smoke bench-cxl bench-cxl-smoke colo-smoke figures check ci smoke cover tournament tournament-smoke serve-smoke bench-serve
 
 # Pinned tool versions for CI (and for local installs that want to match
 # CI exactly). Bump deliberately; staticcheck versions are coupled to Go
@@ -101,6 +101,22 @@ bench-smoke:
 	$(GO) run ./cmd/paperbench -bench-compare BENCH_baseline.json -scale 0.1 -workloads bfs,sssp
 	$(GO) run ./cmd/paperbench -bench-cluster-compare BENCH_cluster.json
 
+# Regenerate the committed scale-1.0 snapshot A/B trajectory: the full
+# Fig. 6/7 matrix at paper size with snapshot forking off, then on. The
+# generator hard-fails unless both modes produce identical simulated
+# cycles (forking is byte-identical by construction). Run on an idle
+# machine; the wall-clock pair is the headline perf record.
+bench-scale1:
+	$(GO) run ./cmd/paperbench -bench-scale1-json BENCH_scale1.json
+
+# Gate on the committed snapshot A/B baseline: re-run both modes at the
+# baseline's own scale (1.0 — one sweep each way, so this is the
+# longest single smoke), fail on cycle drift >2%, on any off/on cycle
+# divergence, or when the snapshot mode drops below the wall-time floor
+# against the no-snapshot mode measured in the same process.
+bench-scale1-smoke:
+	$(GO) run ./cmd/paperbench -bench-scale1-compare BENCH_scale1.json
+
 figures:
 	$(GO) run ./cmd/paperbench -fig all
 
@@ -182,5 +198,6 @@ smoke:
 # convergence gate + staticcheck + govulncheck, build, race-detected
 # tests, the coverage floor, the observability smoke, the tournament
 # smoke, the sweep-service smoke, the co-location smoke + baseline
-# gate, then the bench-smoke drift gate.
-ci: vet lint lint-fix-check staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke colo-smoke bench-cxl-smoke bench-smoke
+# gate, then the bench-smoke drift gate and the scale-1 snapshot A/B
+# gate.
+ci: vet lint lint-fix-check staticcheck govulncheck build race cover smoke tournament-smoke serve-smoke colo-smoke bench-cxl-smoke bench-smoke bench-scale1-smoke

@@ -71,6 +71,9 @@ type options struct {
 	benchClusterJSON    string
 	benchClusterCompare string
 
+	benchScale1JSON    string
+	benchScale1Compare string
+
 	benchCXLJSON    string
 	benchCXLCompare string
 
@@ -104,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: all)")
 		workers        = fs.Int("workers", 0, "concurrent sweep cells per figure (0 = one per core)")
 		clusterWorkers = fs.Int("cluster-workers", 0, "PDES worker threads per multi-GPU cluster run (0 or 1 = sequential; results are identical either way)")
+		snapshot       = fs.String("snapshot", "on", "prefix-share sweep cells that differ only in policy via fork snapshots: on|off (results are identical either way)")
 		planner        = fs.String("planner", "", "migration planner: "+strings.Join(mm.PlannerNames(), ", ")+" (default: threshold)")
 		replacement    = fs.String("replacement", "", "replacement policy for eviction: lru, lfu (default: paper pairing)")
 		prefetcher     = fs.String("prefetcher", "", "prefetcher: tree, none, sequential (default: tree)")
@@ -119,6 +123,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&o.benchCompare, "bench-compare", "", "run the Fig. 6/7 sweep once and fail if its simulated cycles drift >2% from the baseline suite in this file")
 	fs.StringVar(&o.benchClusterJSON, "bench-cluster-json", "", "run the multi-GPU cluster benchmark (sequential vs PDES) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchClusterCompare, "bench-cluster-compare", "", "re-run the cluster benchmark at the baseline's own scale and fail if its makespan drifts >2% from this file")
+	fs.StringVar(&o.benchScale1JSON, "bench-scale1-json", "", "run the Fig. 6/7 sweep with snapshot forking off and on, fail unless the simulated cycles match, and write the A/B wall-clock report to this file ('-' for stdout)")
+	fs.StringVar(&o.benchScale1Compare, "bench-scale1-compare", "", "re-run the snapshot A/B at the baseline's own scale and fail on cycle drift >2% or a snapshot slowdown beyond the floor")
 	fs.StringVar(&o.benchCXLJSON, "bench-cxl-json", "", "run the CXL co-location benchmark (every pool policy over one tenant mix) and write a versioned JSON report to this file ('-' for stdout)")
 	fs.StringVar(&o.benchCXLCompare, "bench-cxl-compare", "", "re-run the co-location benchmark and fail unless every scenario is byte-identical to this file")
 	fs.StringVar(&o.serveLoad, "serve-load", "", "run the simd sweep-service load test (cold vs fully-cached warm phase) and write a versioned JSON report to this file ('-' for stdout)")
@@ -137,6 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !o.table1 && o.fig == "" && o.benchJSON == "" && o.benchCompare == "" &&
 		o.benchClusterJSON == "" && o.benchClusterCompare == "" &&
+		o.benchScale1JSON == "" && o.benchScale1Compare == "" &&
 		o.benchCXLJSON == "" && o.benchCXLCompare == "" && o.serveLoad == "" && !o.tournament {
 		fs.Usage()
 		return 2
@@ -153,7 +160,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "paperbench: -cluster-workers must be non-negative, got %d\n", *clusterWorkers)
 		return 2
 	}
-	o.opt = uvmsim.ExperimentOptions{Scale: *scale, Workers: *workers}
+	snapOn, err := cliutil.ParseOnOff("snapshot", *snapshot)
+	if err != nil {
+		fmt.Fprintf(stderr, "paperbench: %v\n", err)
+		return 2
+	}
+	o.opt = uvmsim.ExperimentOptions{Scale: *scale, Workers: *workers, Snapshot: snapOn}
 	if *workloads != "" {
 		o.opt.Workloads = cliutil.SplitList(*workloads)
 	}
@@ -281,6 +293,16 @@ func execute(o options, stdout, stderr io.Writer) (err error) {
 	}
 	if o.benchClusterCompare != "" {
 		if err := runBenchClusterCompare(o.benchClusterCompare, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchScale1JSON != "" {
+		if err := runBenchScale1Suite(o.benchScale1JSON, o.opt, stdout, stderr); err != nil {
+			return err
+		}
+	}
+	if o.benchScale1Compare != "" {
+		if err := runBenchScale1Compare(o.benchScale1Compare, o.opt, stdout, stderr); err != nil {
 			return err
 		}
 	}
@@ -752,5 +774,146 @@ func runBenchClusterCompare(path string, opt uvmsim.ExperimentOptions, stdout, s
 			drift*100, path, benchDriftLimit*100)
 	}
 	fmt.Fprintf(stdout, "bench-cluster-compare: PASS (within ±%.0f%%)\n", benchDriftLimit*100)
+	return nil
+}
+
+// Scale-1 snapshot A/B benchmark result names.
+const (
+	benchScale1Off = "Fig6And7SnapshotOff"
+	benchScale1On  = "Fig6And7SnapshotOn"
+)
+
+// benchScale1SpeedupFloor is the minimum allowed off/on wall-time ratio
+// in the compare gate. Snapshot forking is a pure execution strategy —
+// it must never make the sweep meaningfully slower, but the shared
+// prefix shrinks with divergence (at 125% oversubscription policies
+// split early), so the CI gate asserts "not a slowdown" rather than a
+// machine-dependent speedup.
+const benchScale1SpeedupFloor = 0.85
+
+// benchScale1Run measures one Fig. 6/7 sweep mode and returns the
+// benchmark result carrying its deterministic simulated-cycle total.
+func benchScale1Run(name string, snapshot bool, opt uvmsim.ExperimentOptions, stderr io.Writer) (resultio.BenchResult, error) {
+	mo := opt
+	mo.Snapshot = snapshot
+	fmt.Fprintf(stderr, "bench %s (scale %v)...\n", name, opt.Scale)
+	var cycles uint64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rt, th, got := uvmsim.Fig6And7Cycles(mo)
+			if rt == nil || th == nil {
+				b.Fatal("empty figure")
+			}
+			cycles = got
+		}
+	})
+	if r.N == 0 {
+		return resultio.BenchResult{}, fmt.Errorf("benchmark %s did not run (did it fail?)", name)
+	}
+	return resultio.BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		SimCycles:   cycles,
+	}, nil
+}
+
+// runBenchScale1Suite measures the snapshot A/B — the Fig. 6/7 sweep
+// with forking disabled, then enabled — fails unless both modes produce
+// the identical simulated-cycle total (forking must be byte-identical),
+// and archives the wall-clock pair as a versioned report. Run at
+// -scale 1.0 this is the committed BENCH_scale1.json trajectory record.
+func runBenchScale1Suite(path string, opt uvmsim.ExperimentOptions, stdout, stderr io.Writer) error {
+	suite := &resultio.BenchSuite{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      opt.Scale,
+		Workloads:  opt.Workloads,
+	}
+	off, err := benchScale1Run(benchScale1Off, false, opt, stderr)
+	if err != nil {
+		return err
+	}
+	on, err := benchScale1Run(benchScale1On, true, opt, stderr)
+	if err != nil {
+		return err
+	}
+	if off.SimCycles != on.SimCycles {
+		return fmt.Errorf("snapshot forking changed simulated cycles: off %d vs on %d (must be byte-identical)",
+			off.SimCycles, on.SimCycles)
+	}
+	suite.Results = append(suite.Results, off, on)
+	fmt.Fprintf(stdout, "bench-scale1: Fig6And7 %d simulated cycles, snapshot off %.1fs vs on %.1fs (%.2fx)\n",
+		on.SimCycles, off.NsPerOp/1e9, on.NsPerOp/1e9, off.NsPerOp/on.NsPerOp)
+
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return resultio.WriteBenchSuite(out, suite)
+}
+
+// runBenchScale1Compare is the CI gate over the snapshot A/B baseline:
+// it re-runs both modes at the baseline's own scale and workloads and
+// fails when (a) the two modes' simulated cycles diverge, (b) the total
+// drifts more than benchDriftLimit from the baseline, or (c) the
+// snapshot mode falls below the wall-time floor against the no-snapshot
+// mode measured in the same process.
+func runBenchScale1Compare(path string, opt uvmsim.ExperimentOptions, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	base, err := resultio.ReadBenchSuite(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	var want *resultio.BenchResult
+	for i := range base.Results {
+		if base.Results[i].Name == benchScale1On && base.Results[i].SimCycles > 0 {
+			want = &base.Results[i]
+		}
+	}
+	if want == nil {
+		return fmt.Errorf("baseline %s carries no %s simulated-cycle total; regenerate it with -bench-scale1-json", path, benchScale1On)
+	}
+	mo := opt
+	mo.Scale = base.Scale
+	mo.Workloads = base.Workloads
+	off, err := benchScale1Run(benchScale1Off, false, mo, stderr)
+	if err != nil {
+		return err
+	}
+	on, err := benchScale1Run(benchScale1On, true, mo, stderr)
+	if err != nil {
+		return err
+	}
+	if off.SimCycles != on.SimCycles {
+		return fmt.Errorf("snapshot forking changed simulated cycles: off %d vs on %d (must be byte-identical)",
+			off.SimCycles, on.SimCycles)
+	}
+	drift := float64(on.SimCycles)/float64(want.SimCycles) - 1
+	speedup := off.NsPerOp / on.NsPerOp
+	fmt.Fprintf(stdout, "bench-scale1-compare: %d simulated cycles vs baseline %d (drift %+.3f%%), snapshot wall-time ratio %.2fx\n",
+		on.SimCycles, want.SimCycles, drift*100, speedup)
+	if math.Abs(drift) > benchDriftLimit {
+		return fmt.Errorf("simulated cycles drifted %+.2f%% from %s (limit ±%.0f%%)",
+			drift*100, path, benchDriftLimit*100)
+	}
+	if speedup < benchScale1SpeedupFloor {
+		return fmt.Errorf("snapshot mode ran %.2fx the speed of the no-snapshot mode (floor %.2fx): forking has become a slowdown",
+			speedup, benchScale1SpeedupFloor)
+	}
+	fmt.Fprintf(stdout, "bench-scale1-compare: PASS (cycles within ±%.0f%%, wall-time ratio ≥ %.2fx)\n",
+		benchDriftLimit*100, benchScale1SpeedupFloor)
 	return nil
 }

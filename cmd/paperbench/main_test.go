@@ -204,6 +204,42 @@ func TestBenchCompareAgainstFreshBaseline(t *testing.T) {
 	}
 }
 
+// The scale-1 snapshot A/B gate passes against a baseline it just
+// generated (at the baseline's own scale), rejects baselines without
+// the snapshot-on checksum, and records identical simulated cycles for
+// both modes.
+func TestBenchScale1CompareAgainstFreshBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	path := filepath.Join(t.TempDir(), "bench-scale1.json")
+	args := []string{"-bench-scale1-json", path, "-scale", "0.02", "-workloads", "ra"}
+	if code, stdout, stderr := runCLI(t, args...); code != 0 {
+		t.Fatalf("bench-scale1-json failed: %d %q %q", code, stdout, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Fig6And7SnapshotOff", "Fig6And7SnapshotOn"} {
+		if !strings.Contains(string(data), name) {
+			t.Fatalf("suite %s missing result %q:\n%s", path, name, data)
+		}
+	}
+	if code, stdout, stderr := runCLI(t, "-bench-scale1-compare", path); code != 0 || !strings.Contains(stdout, "PASS") {
+		t.Fatalf("bench-scale1-compare = %d, stdout %q, stderr %q", code, stdout, stderr)
+	}
+	// A plain fig-sweep baseline carries no snapshot A/B checksum and
+	// must be rejected with a pointer at -bench-scale1-json.
+	figPath := filepath.Join(t.TempDir(), "bench.json")
+	if code, _, stderr := runCLI(t, "-bench-json", figPath, "-scale", "0.02", "-workloads", "ra"); code != 0 {
+		t.Fatalf("bench-json failed: %d %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-bench-scale1-compare", figPath); code == 0 || !strings.Contains(stderr, "bench-scale1-json") {
+		t.Fatalf("checksum-free baseline not rejected: %d %q", code, stderr)
+	}
+}
+
 // The cluster drift gate passes against a baseline it just generated
 // (at the baseline's own scale — no -scale agreement needed) and
 // rejects baselines without a cluster checksum.

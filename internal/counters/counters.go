@@ -92,6 +92,29 @@ func (f *File) Access(block uint64) uint64 {
 	return uint64(e.access)
 }
 
+// AccessRun records k accesses to the same block and returns the
+// updated count, exactly equivalent to k sequential Access calls: when
+// the whole run fits below saturation it is a single add, otherwise it
+// falls back to per-increment stepping so every halving sweep fires at
+// the same access it would have under the unbatched path.
+//
+//sim:hotpath
+func (f *File) AccessRun(block uint64, k uint64) uint64 {
+	f.totalAccesses = satmath.Add(f.totalAccesses, k)
+	e := f.get(block)
+	if satmath.Add(uint64(e.access), k) <= MaxAccess {
+		e.access += uint32(k)
+		return uint64(e.access)
+	}
+	for ; k > 0; k-- {
+		if e.access == MaxAccess {
+			f.halveAccess()
+		}
+		e.access++
+	}
+	return uint64(e.access)
+}
+
 // Count returns the block's current access count.
 func (f *File) Count(block uint64) uint64 {
 	if e := f.at(block); e != nil {
@@ -140,6 +163,15 @@ func (f *File) halveTrips() {
 	for i := range f.blocks {
 		f.blocks[i].trips >>= 1
 	}
+}
+
+// Clone returns an independent deep copy of the counter file, used when
+// forking a simulator at a kernel barrier.
+func (f *File) Clone() *File {
+	c := *f
+	c.blocks = make([]entry, len(f.blocks))
+	copy(c.blocks, f.blocks)
+	return &c
 }
 
 // TotalAccesses returns the monotonic number of recorded accesses

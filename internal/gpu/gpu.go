@@ -11,6 +11,7 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 
 	"uvmsim/internal/config"
@@ -79,6 +80,17 @@ type MemoryBackend interface {
 	Access(addr memunits.Addr, write bool, done func())
 }
 
+// RunBackend is an optional MemoryBackend extension: a backend that can
+// serve a dense run of same-block sector accesses in one call. The GPU
+// detects it once at construction and uses it for multi-sector runs;
+// backends without it (unit-test stubs) see per-sector calls only.
+type RunBackend interface {
+	// TryFastAccessRun serves sorted same-block sector addresses
+	// synchronously when possible, returning the latest completion
+	// cycle. ok false means the caller must fall back per sector.
+	TryFastAccessRun(addrs []memunits.Addr, write bool) (sim.Cycle, bool)
+}
+
 // sm is one streaming multiprocessor's occupancy and issue state.
 type sm struct {
 	freeAt        sim.Cycle // issue resource: one instruction per cycle
@@ -126,8 +138,11 @@ type GPU struct {
 	eng *sim.Engine
 	cfg config.Config
 	mem MemoryBackend
-	st  *stats.Counters
-	sms []sm
+	// memRun is mem's optional dense-run extension (nil when absent),
+	// resolved once at construction to keep issueMemory assertion-free.
+	memRun RunBackend
+	st     *stats.Counters
+	sms    []sm
 
 	// current kernel launch state
 	kernel       Kernel
@@ -156,7 +171,8 @@ func New(eng *sim.Engine, cfg config.Config, mem MemoryBackend, st *stats.Counte
 	if err := cfg.Validate(); err != nil {
 		panic(fmt.Sprintf("gpu: %v", err))
 	}
-	return &GPU{eng: eng, cfg: cfg, mem: mem, st: st, sms: make([]sm, cfg.NumSMs)}
+	memRun, _ := mem.(RunBackend)
+	return &GPU{eng: eng, cfg: cfg, mem: mem, memRun: memRun, st: st, sms: make([]sm, cfg.NumSMs)}
 }
 
 // SetObs attaches observability instruments (nil detaches). The GPU
@@ -318,35 +334,59 @@ func (g *GPU) reserve(s *sm, cycles uint64) sim.Cycle {
 }
 
 // coalesce fills w.sectors[:w.nsec] with the unique sector addresses of
-// the current instruction. The sort is a hand-rolled insertion sort over
-// the fixed lane array: n is at most 32 and the input is often nearly
-// sorted (unit-stride lanes), so this beats sort.Slice while allocating
-// nothing.
+// the current instruction, in ascending order. The masking pass writes
+// straight into the warp's sectors scratch and tracks whether the lanes
+// arrived already sorted — unit-stride and broadcast patterns, the
+// overwhelming majority — so the insertion sort runs only for genuinely
+// divergent warps. n is at most 32, so even that path beats sort.Slice
+// while allocating nothing.
+//
+//sim:hotpath
 func (g *GPU) coalesce(w *warp) {
 	n := w.instr.NumAddrs
 	if n > MaxLanes {
 		panic(fmt.Sprintf("gpu: instruction with %d lanes", n))
 	}
-	var bases [MaxLanes]memunits.Addr
-	for i := 0; i < n; i++ {
-		bases[i] = w.instr.Addrs[i] &^ (memunits.SectorSize - 1)
-	}
-	for i := 1; i < n; i++ {
-		v := bases[i]
-		j := i - 1
-		for j >= 0 && bases[j] > v {
-			bases[j+1] = bases[j]
-			j--
-		}
-		bases[j+1] = v
-	}
+	// Single pass: mask each lane to its sector, drop duplicates of the
+	// previous kept sector (safe pre-sort: it only removes multiset
+	// duplicates), and track whether the kept sequence is ascending. A
+	// sorted sequence with adjacent duplicates removed is already the
+	// unique sorted set, so the common case finishes here.
+	s := w.sectors[:]
+	sorted := true
 	k := 0
 	for i := 0; i < n; i++ {
-		if i > 0 && bases[i] == bases[i-1] {
-			continue
+		b := w.instr.Addrs[i] &^ (memunits.SectorSize - 1)
+		if k > 0 {
+			if b == s[k-1] {
+				continue
+			}
+			if b < s[k-1] {
+				sorted = false
+			}
 		}
-		w.sectors[k] = bases[i]
+		s[k] = b
 		k++
+	}
+	if !sorted {
+		for i := 1; i < k; i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		u := 0
+		for i := 0; i < k; i++ {
+			if i > 0 && s[i] == s[u-1] {
+				continue
+			}
+			s[u] = s[i]
+			u++
+		}
+		k = u
 	}
 	w.nsec = k
 }
@@ -355,21 +395,45 @@ func (g *GPU) coalesce(w *warp) {
 // arranges for the warp to resume when the last one completes. The warp
 // does not issue another instruction until then, so reading the write
 // flag from w.instr here matches capturing it at schedule time.
+//
+// Sectors leave the coalescer sorted, so sectors of the same 64KB block
+// are consecutive; multi-sector runs go to the backend's dense-run
+// entry point in one call when it offers one.
+//
+//sim:hotpath
 func (g *GPU) issueMemory(w *warp) {
 	write := w.instr.Write
 	w.outstanding = 0
 	w.readyAt = g.eng.Now()
 	w.issuedAt = w.readyAt
-	for i := 0; i < w.nsec; i++ {
-		addr := w.sectors[i]
-		if at, ok := g.mem.TryFastAccess(addr, write); ok {
-			if at > w.readyAt {
-				w.readyAt = at
+	for i := 0; i < w.nsec; {
+		j := i + 1
+		if g.memRun != nil {
+			b := memunits.BlockOf(w.sectors[i])
+			for j < w.nsec && memunits.BlockOf(w.sectors[j]) == b {
+				j++
 			}
-			continue
+			if j > i+1 {
+				if at, ok := g.memRun.TryFastAccessRun(w.sectors[i:j], write); ok {
+					if at > w.readyAt {
+						w.readyAt = at
+					}
+					i = j
+					continue
+				}
+			}
 		}
-		w.outstanding++
-		g.mem.Access(addr, write, w.sectorFn)
+		for ; i < j; i++ {
+			addr := w.sectors[i]
+			if at, ok := g.mem.TryFastAccess(addr, write); ok {
+				if at > w.readyAt {
+					w.readyAt = at
+				}
+				continue
+			}
+			w.outstanding++
+			g.mem.Access(addr, write, w.sectorFn)
+		}
 	}
 	if w.outstanding == 0 {
 		g.resumeAt(w, w.readyAt)
@@ -445,4 +509,29 @@ func (g *GPU) finish() {
 	if g.onDone != nil {
 		g.onDone(g.eng.Now())
 	}
+}
+
+// CloneFor returns an independent copy of the GPU attached to eng and
+// mem (the forked driver), used when forking a simulator at a kernel
+// barrier. Only valid between kernels: with no kernel running every
+// warp and CTA has retired, so the pools are cold state and the sole
+// surviving execution state is each SM's issue-port horizon (freeAt).
+func (g *GPU) CloneFor(eng *sim.Engine, cfg config.Config, mem MemoryBackend, st *stats.Counters) (*GPU, error) {
+	if g.running {
+		return nil, errors.New("gpu: clone while a kernel is running")
+	}
+	if g.obsOn {
+		return nil, errors.New("gpu: clone with observability attached")
+	}
+	if cfg.NumSMs != g.cfg.NumSMs {
+		return nil, errors.New("gpu: clone must preserve the SM count")
+	}
+	ng := New(eng, cfg, mem, st)
+	for i := range g.sms {
+		if g.sms[i].residentCTAs != 0 || g.sms[i].residentWarps != 0 {
+			return nil, fmt.Errorf("gpu: clone with SM %d occupied", i)
+		}
+		ng.sms[i].freeAt = g.sms[i].freeAt
+	}
+	return ng, nil
 }

@@ -96,3 +96,27 @@ func (r *ring) chanSyncOK(cmd chan uint64, done chan struct{}) {
 		done <- struct{}{}
 	}
 }
+
+// batchedRunOK is the batched warp-issue shape: carving sorted
+// same-block runs out of a fixed scratch buffer with slice expressions
+// and handing each subslice to a batched callee, falling back to
+// per-element stepping when the callee declines. Re-slicing an existing
+// backing array allocates nothing and must stay clean.
+//
+//sim:hotpath
+func (r *ring) batchedRunOK(consume func([]uint64) bool) {
+	s := r.buf[:]
+	for i := 0; i < len(s); {
+		j := i + 1
+		for j < len(s) && s[j]>>8 == s[i]>>8 {
+			j++
+		}
+		if j > i+1 && consume(s[i:j]) {
+			i = j
+			continue
+		}
+		for ; i < j; i++ {
+			r.buf[0] += s[i]
+		}
+	}
+}

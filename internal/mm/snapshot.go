@@ -1,0 +1,61 @@
+package mm
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/prefetch"
+)
+
+// This file is the pipeline's side of simulator forking (see
+// internal/snapshot): which stage configurations a fork can reproduce,
+// and how per-chunk prefetch state is duplicated.
+//
+// A fork rebuilds the pipeline stages fresh from the (possibly
+// different) target configuration, so forkability requires that a
+// fresh stage at a quiescent point behaves identically to the donor's:
+// pure stages trivially, batchers because a drained driver's batch is
+// empty, evictors because the built-ins are stateless views over driver
+// state. The learned stages (reuse-dist, bandit-ts, bandit-pf) carry
+// history that a fresh instance lacks, so they are excluded and runs
+// using them fall back to from-scratch execution.
+
+// forkableStages lists, per stage namespace, the registered names whose
+// instances a fork may rebuild from configuration. The empty name (the
+// config-derived default) resolves to a listed implementation in every
+// namespace.
+var forkableStages = map[string]map[string]bool{
+	"batcher":    {"": true, "accumulate": true, "dedup": true},
+	"planner":    {"": true, "threshold": true, "thrash-guard": true},
+	"evictor":    {"": true, "lru": true, "lfu": true, "none": true},
+	"prefetcher": {"": true, "tree": true, "none": true, "sequential": true},
+}
+
+// ForkablePipeline reports whether a driver built from spec can be
+// forked at a quiescent point: every stage must be rebuildable from
+// configuration alone. A nil error means yes; otherwise the error names
+// the offending stage.
+func ForkablePipeline(spec config.PipelineSpec) error {
+	for _, kv := range [][2]string{
+		{"batcher", spec.Batcher}, {"planner", spec.Planner},
+		{"evictor", spec.Evictor}, {"prefetcher", spec.Prefetcher},
+	} {
+		if !forkableStages[kv[0]][canon(kv[1])] {
+			return fmt.Errorf("mm: %s %q carries state a fork cannot rebuild", kv[0], kv[1])
+		}
+	}
+	return nil
+}
+
+// CloneChunkPrefetcher deep-copies per-chunk prefetch state for a fork.
+// ok is false when the implementation is not clonable (a learned
+// metered chunk), in which case the driver cannot be forked.
+func CloneChunkPrefetcher(p ChunkPrefetcher) (ChunkPrefetcher, bool) {
+	switch c := p.(type) {
+	case *prefetch.Chunk:
+		return c.Clone(), true
+	case interface{ CloneChunkPrefetcher() ChunkPrefetcher }:
+		return c.CloneChunkPrefetcher(), true
+	}
+	return nil, false
+}

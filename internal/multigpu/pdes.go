@@ -34,6 +34,7 @@ package multigpu
 import (
 	"fmt"
 
+	"uvmsim/internal/gpu"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/sim"
 )
@@ -218,42 +219,41 @@ func (co *Coordinator) Publish(reg *obs.Registry) {
 	})
 }
 
-// runParallel is Run's PDES path: bulk-synchronous kernels over
-// per-node engines. The barrier after each kernel is the max last-event
-// time across nodes — exactly the shared engine's clock after its
-// drain — and every node clock is aligned to it before the next
-// fixed-order launch round, so launches observe the same Now they would
-// sequentially.
-func (c *Cluster) runParallel() *Result {
+// runKernelParallel is RunKernel's PDES path: one bulk-synchronous
+// kernel over per-node engines. The barrier after the kernel is the max
+// last-event time across nodes — exactly the shared engine's clock
+// after its drain — and every node clock is aligned to it before the
+// next fixed-order launch round, so launches observe the same Now they
+// would sequentially. The worker pool lives for exactly one kernel
+// (Start/Stop bracket the call), which keeps every goroutine's shutdown
+// provable from the call site and leaves the engines untouched between
+// kernels — the quiescent window Fork snapshots from.
+func (c *Cluster) runKernelParallel(k gpu.Kernel) {
 	co := c.par
 	co.Start()
 	defer co.Stop()
-	var barrier sim.Cycle
-	for _, k := range c.built.Kernels {
-		for idx, n := range c.nodes {
-			sub, ok := splitKernel(k, len(c.nodes), idx)
-			n.launched = ok
-			n.finished = false
-			if !ok {
-				continue
-			}
-			n.g.Launch(sub, n.onKernelDone)
+	for idx, n := range c.nodes {
+		sub, ok := splitKernel(k, len(c.nodes), idx)
+		n.launched = ok
+		n.finished = false
+		if !ok {
+			continue
 		}
-		co.Drain() // also drains trailing prefetch transfers
-		for idx, n := range c.nodes {
-			if n.launched && !n.finished {
-				panic(fmt.Sprintf("multigpu: kernel %s left gpu%d unfinished", k.Name, idx))
-			}
-		}
-		barrier = 0
-		for _, n := range c.nodes {
-			if n.eng.Now() > barrier {
-				barrier = n.eng.Now()
-			}
-		}
-		for _, n := range c.nodes {
-			n.eng.AdvanceTo(barrier)
+		n.g.Launch(sub, n.onKernelDone)
+	}
+	co.Drain() // also drains trailing prefetch transfers
+	for idx, n := range c.nodes {
+		if n.launched && !n.finished {
+			panic(fmt.Sprintf("multigpu: kernel %s left gpu%d unfinished", k.Name, idx))
 		}
 	}
-	return c.finish(barrier)
+	var barrier sim.Cycle
+	for _, n := range c.nodes {
+		if n.eng.Now() > barrier {
+			barrier = n.eng.Now()
+		}
+	}
+	for _, n := range c.nodes {
+		n.eng.AdvanceTo(barrier)
+	}
 }

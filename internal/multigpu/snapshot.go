@@ -1,0 +1,115 @@
+// Cluster snapshot/fork at kernel barriers.
+//
+// A bulk-synchronous cluster is quiescent between kernels: every node
+// engine is drained and every driver has no migration work in flight,
+// so no pending closures reference live state and the whole cluster can
+// be deep-copied through the same component hooks single-GPU forking
+// uses (engine Snapshot/Restore, uvm.Driver.CloneWith, gpu.GPU.CloneFor).
+// In sequential mode the one shared engine is restored into the fork;
+// in PDES mode each node's private engine is restored separately and a
+// fresh coordinator is built over the cloned nodes, so the fork keeps
+// the parent's execution mode — and, by the PDES equivalence property,
+// its byte-identical results.
+//
+// Unlike snapshot.RunGroup there is no decision monitor here: the
+// caller owns the claim that the forked configuration would have taken
+// the identical decisions over the shared prefix (trivially true for
+// the self-fork the equivalence tests and uvmsim -snapshot-check use).
+package multigpu
+
+import (
+	"fmt"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/mm"
+	"uvmsim/internal/sim"
+)
+
+// KernelCount returns the number of kernel launches in the workload.
+func (c *Cluster) KernelCount() int { return len(c.built.Kernels) }
+
+// Quiescent reports whether the cluster sits at a forkable barrier: no
+// pending events on any engine and no driver with outstanding
+// migration work. RunKernel drains the engines fully, so barriers are
+// normally quiescent, but a driver can still carry deferred work
+// (write-back queues, advice state) — check before every Fork.
+func (c *Cluster) Quiescent() bool {
+	if c.eng != nil && c.eng.Pending() != 0 {
+		return false
+	}
+	for _, n := range c.nodes {
+		if c.eng == nil && n.eng.Pending() != 0 {
+			return false
+		}
+		if n.drv.PendingWork() {
+			return false
+		}
+	}
+	return true
+}
+
+// Fork deep-copies the cluster at a quiescent kernel barrier into a new
+// cluster running under cfg, which must keep the parent's execution
+// mode (sequential vs PDES — ClusterWorkers is not a policy field, so
+// every groupable configuration does) and its geometry (per-GPU memory,
+// TLB reach; the component clone hooks reject mismatches). The fork
+// resumes from the same barrier via RunKernel/Finish; the parent
+// remains runnable and unaware of the fork.
+func (c *Cluster) Fork(cfg config.Config) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("multigpu: fork config: %w", err)
+	}
+	if c.checkers != nil || c.checkEvery != 0 {
+		return nil, fmt.Errorf("multigpu: fork with observability attached")
+	}
+	if !c.Quiescent() {
+		return nil, fmt.Errorf("multigpu: fork at a non-quiescent barrier")
+	}
+	workers := cfg.ClusterWorkers
+	if workers > len(c.nodes) {
+		workers = len(c.nodes)
+	}
+	parentPar := c.par != nil
+	if (workers > 1) != parentPar {
+		return nil, fmt.Errorf("multigpu: fork cannot change execution mode (parent PDES=%v, cfg wants ClusterWorkers=%d)",
+			parentPar, cfg.ClusterWorkers)
+	}
+
+	fork := &Cluster{built: c.built, cfg: cfg}
+	if !parentPar {
+		eng := sim.NewEngine()
+		eng.SetEventBudget(eventBudget)
+		eng.Restore(c.eng.Snapshot())
+		fork.eng = eng
+	}
+	for _, n := range c.nodes {
+		eng := fork.eng
+		if parentPar {
+			eng = sim.NewEngine()
+			eng.SetEventBudget(eventBudget)
+			eng.Restore(n.eng.Snapshot())
+		}
+		// Each driver owns its pipeline, exactly as in New (which builds
+		// one per uvm.New call).
+		pipe, err := mm.Build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("multigpu: fork pipeline: %w", err)
+		}
+		drv, err := n.drv.CloneWith(eng, cfg, pipe)
+		if err != nil {
+			return nil, err
+		}
+		g, err := n.g.CloneFor(eng, cfg, drv, drv.Stats())
+		if err != nil {
+			return nil, err
+		}
+		fork.nodes = append(fork.nodes, &node{eng: eng, drv: drv, g: g})
+	}
+	if parentPar {
+		// The geometry guards above make the cloned link identical to the
+		// parent's, so the lookahead is the parent's and positive.
+		la := 2 * fork.nodes[0].drv.Link().Lookahead()
+		fork.par = newCoordinator(fork.nodes, workers, la)
+	}
+	return fork, nil
+}

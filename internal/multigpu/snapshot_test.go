@@ -1,0 +1,99 @@
+package multigpu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/obs"
+)
+
+// TestClusterForkMatchesScratch is the cluster half of the
+// snapshot-equivalence golden: a cluster forked at the first quiescent
+// kernel barrier and finished from the fork must produce a Result
+// byte-identical to a from-scratch run, and the parent must be
+// unperturbed by having been forked. Property-tested across policies ×
+// seeds × ClusterWorkers ∈ {1, 2} (sequential shared-engine vs PDES
+// per-node engines), and run under -race by the CI concurrency step.
+func TestClusterForkMatchesScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster fork equivalence sweep is slow; skipping in -short")
+	}
+	const (
+		nGPUs = 2
+		scale = 0.05
+		pct   = 125
+	)
+	for _, workers := range []int{1, 2} {
+		for _, pol := range []config.MigrationPolicy{config.PolicyDisabled, config.PolicyAdaptive} {
+			for _, seed := range []uint64{1, 7} {
+				t.Run(fmt.Sprintf("workers=%d/%v/seed=%d", workers, pol, seed), func(t *testing.T) {
+					base := config.Default()
+					base.ClusterWorkers = workers
+					base.PolicySeed = seed
+					b, cfg := core.PrepareWorkload("sssp", scale, nGPUs, pct, pol, base)
+
+					want := New(b, cfg, nGPUs).Run()
+
+					cl := New(b, cfg, nGPUs)
+					n := cl.KernelCount()
+					var fork *Cluster
+					forkAt := 0
+					for i := 0; i < n; i++ {
+						cl.RunKernel(i)
+						if fork == nil && i+1 < n && cl.Quiescent() {
+							f, err := cl.Fork(cfg)
+							if err != nil {
+								t.Fatalf("Fork at barrier %d: %v", i+1, err)
+							}
+							fork, forkAt = f, i+1
+						}
+					}
+					parent := cl.Finish()
+					if !reflect.DeepEqual(parent, want) {
+						t.Fatalf("parent run perturbed by forking:\n got %+v\nwant %+v", parent, want)
+					}
+					if fork == nil {
+						t.Fatalf("no quiescent barrier in %d kernels", n)
+					}
+					for i := forkAt; i < n; i++ {
+						fork.RunKernel(i)
+					}
+					got := fork.Finish()
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("fork at barrier %d diverged from scratch:\n got %+v\nwant %+v", forkAt, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestClusterForkGuards pins the refusal paths: observability and an
+// execution-mode change must be rejected, never silently mis-forked.
+func TestClusterForkGuards(t *testing.T) {
+	base := config.Default()
+	b, cfg := core.PrepareWorkload("ra", 0.05, 2, 125, config.PolicyAdaptive, base)
+
+	t.Run("mode-change", func(t *testing.T) {
+		cl := New(b, cfg, 2)
+		cl.RunKernel(0)
+		par := cfg
+		par.ClusterWorkers = 2
+		if _, err := cl.Fork(par); err == nil {
+			t.Fatal("fork from sequential parent into PDES mode succeeded, want error")
+		}
+	})
+
+	t.Run("observability", func(t *testing.T) {
+		cl := New(b, cfg, 2)
+		suite := obs.NewSuite(obs.Options{CheckEvery: 1000})
+		cl.Observe(func(idx int) *obs.Run { return suite.NewRun(fmt.Sprintf("gpu%d", idx)) })
+		cl.RunKernel(0)
+		if _, err := cl.Fork(cfg); err == nil {
+			t.Fatal("fork with observability attached succeeded, want error")
+		}
+	})
+}

@@ -329,6 +329,59 @@ func TestServiceMatchesDirectSimulation(t *testing.T) {
 	}
 }
 
+// Snapshot prefix grouping is a pure execution strategy: a multi-policy
+// job run through the grouped snapshot/fork path must return the
+// byte-identical payload a NoSnapshot server produces cell by cell, and
+// the grouped server must account every miss as either forked or
+// scratch in its metrics.
+func TestSnapshotGroupingByteIdenticalToPerCell(t *testing.T) {
+	snapSrv, snapC := newTestServer(t, Options{Workers: 2})
+	_, plainC := newTestServer(t, Options{Workers: 2, NoSnapshot: true})
+
+	job := JobRequest{
+		Scale:           0.05,
+		Workloads:       []string{"bfs", "sssp"},
+		OversubPercents: []uint64{125},
+		Policies:        []string{"disabled", "oversub", "adaptive"},
+	}
+	stSnap, gotSnap, err := snapC.RunJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stPlain, gotPlain, err := plainC.RunJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSnap.TotalCells != 6 || stPlain.TotalCells != 6 {
+		t.Fatalf("matrix expanded to %d/%d cells, want 6", stSnap.TotalCells, stPlain.TotalCells)
+	}
+	if !bytes.Equal(gotSnap, gotPlain) {
+		t.Fatal("snapshot-grouped payload differs from per-cell payload")
+	}
+
+	snap := snapSrv.MetricsSnapshot()
+	forked := snap.Counter("serve.snapshot.forked_cells")
+	if sim := snap.Counter("serve.cells.simulated"); forked > sim {
+		t.Fatalf("forked cells %d exceed simulated cells %d", forked, sim)
+	}
+	if forked > 0 && snap.Counter("serve.snapshot.shared_kernels") == 0 {
+		t.Fatal("cells forked but no kernel launches were shared")
+	}
+
+	// A warm resubmission is all cache hits on both servers — grouping
+	// must not bypass the content-addressed cache.
+	stWarm, warm, err := snapC.RunJob(job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stWarm.CacheHits != stWarm.TotalCells {
+		t.Fatalf("warm grouped job: %d/%d cache hits, want all", stWarm.CacheHits, stWarm.TotalCells)
+	}
+	if !bytes.Equal(warm, gotSnap) {
+		t.Fatal("warm grouped payload differs from cold payload")
+	}
+}
+
 func TestJobListOrder(t *testing.T) {
 	_, c := newTestServer(t, Options{Workers: 2})
 	for i := 0; i < 3; i++ {

@@ -10,10 +10,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"uvmsim/internal/config"
 	"uvmsim/internal/core"
 	"uvmsim/internal/cxl"
 	"uvmsim/internal/obs"
 	"uvmsim/internal/resultio"
+	"uvmsim/internal/snapshot"
 	"uvmsim/internal/sweep"
 	"uvmsim/internal/workloads"
 )
@@ -44,6 +46,14 @@ type Options struct {
 	// (0 = unbounded); past the bound the least-recently-used cell is
 	// evicted and recomputed, byte-identically, on its next miss.
 	CacheMaxEntries int
+	// NoSnapshot disables snapshot/fork prefix sharing: by default the
+	// cells of a job that differ only in migration-policy configuration
+	// (same workload, scale, oversubscription and base outside the
+	// policy fields) run as one group that executes the shared warmup
+	// once and forks per policy (internal/snapshot). Results are
+	// byte-identical either way — the switch exists for A/B measurement
+	// and as an escape hatch.
+	NoSnapshot bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +89,11 @@ type Server struct {
 	cellsCompleted atomic.Uint64
 	cellsSimulated atomic.Uint64
 	cellsCached    atomic.Uint64
+	// Snapshot/fork prefix-sharing totals across all jobs: cells that
+	// finished from a fork instead of a scratch warmup, and the kernel
+	// launches those forks skipped.
+	cellsForked   atomic.Uint64
+	sharedKernels atomic.Uint64
 }
 
 // NewServer returns a ready-to-mount service with an empty cache.
@@ -225,13 +240,29 @@ func (s *Server) job(id string) (*jobState, bool) {
 	return j, ok
 }
 
+// prefixKey identifies a snapshot prefix group: cells agreeing on it
+// share a (workload, scale, oversubscription) warmup and differ only in
+// the policy fields snapshot.GroupKey normalizes away, so they can run
+// as one forked group. config.Config is comparable, so the key can
+// index a map directly.
+type prefixKey struct {
+	workload string
+	scale    float64
+	pct      uint64
+	norm     config.Config
+}
+
 // runJob executes every cell through sweep.Parallel under the global
-// worker budget and assembles the canonical result payload. A
-// panicking cell (an invalid derived config, a model bug) aborts the
-// sweep through sweep.Parallel's abort path — remaining workers stop
-// claiming cells, in-flight cells finish, no goroutine leaks — and
-// surfaces here as a failed job; the shared token pool is returned in
-// full, so later jobs are unaffected.
+// worker budget and assembles the canonical result payload. Unless
+// Options.NoSnapshot is set, workload cells are first partitioned into
+// snapshot prefix groups — each group is one sweep unit that runs its
+// shared warmup once and forks per policy (runCellGroup), producing
+// payloads byte-identical to per-cell execution. A panicking cell (an
+// invalid derived config, a model bug) aborts the sweep through
+// sweep.Parallel's abort path — remaining workers stop claiming units,
+// in-flight units finish, no goroutine leaks — and surfaces here as a
+// failed job; the shared token pool is returned in full, so later jobs
+// are unaffected.
 func (s *Server) runJob(j *jobState, cells []cell, colos []coloCell) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -239,17 +270,50 @@ func (s *Server) runJob(j *jobState, cells []cell, colos []coloCell) {
 			s.jobsFailed.Add(1)
 		}
 	}()
-	fns := make([]func() []byte, 0, len(cells)+len(colos))
-	for _, c := range cells {
-		c := c
-		fns = append(fns, func() []byte { return s.runCell(j, c) })
+	// units[i] lists the payload slots fns[i] fills, in the order its
+	// [][]byte return is laid out; scattering through it keeps the
+	// payload order — and therefore the result document — independent
+	// of the grouping.
+	var fns []func() [][]byte
+	var units [][]int
+	if s.opts.NoSnapshot {
+		for i := range cells {
+			i := i
+			fns = append(fns, func() [][]byte { return [][]byte{s.runCell(j, cells[i])} })
+			units = append(units, []int{i})
+		}
+	} else {
+		groups := make(map[prefixKey]int)
+		var members [][]int
+		for i, c := range cells {
+			k := prefixKey{c.workload, c.scale, c.pct, snapshot.GroupKey(c.base)}
+			gi, ok := groups[k]
+			if !ok {
+				gi = len(members)
+				groups[k] = gi
+				members = append(members, nil)
+			}
+			members[gi] = append(members[gi], i)
+		}
+		for _, idxs := range members {
+			idxs := idxs
+			fns = append(fns, func() [][]byte { return s.runCellGroup(j, cells, idxs) })
+			units = append(units, idxs)
+		}
 	}
-	for _, c := range colos {
-		c := c
-		fns = append(fns, func() []byte { return s.runColoCell(j, c) })
+	for i := range colos {
+		i := i
+		fns = append(fns, func() [][]byte { return [][]byte{s.runColoCell(j, colos[i])} })
+		units = append(units, []int{len(cells) + i})
 	}
 	workers := s.opts.Workers
-	payloads := sweep.Parallel(fns, workers)
+	outs := sweep.Parallel(fns, workers)
+	payloads := make([][]byte, len(cells)+len(colos))
+	for fi, idxs := range units {
+		for k, u := range idxs {
+			payloads[u] = outs[fi][k]
+		}
+	}
 
 	// Entry payloads are newline-terminated JSON documents; splice them
 	// verbatim so a cache hit reproduces the bytes exactly. The colo
@@ -315,6 +379,71 @@ func (s *Server) runCell(j *jobState, c cell) []byte {
 	return buf.Bytes()
 }
 
+// runCellGroup executes the cells of one snapshot prefix group — cache
+// hits, a lone scratch run, or a snapshot.RunGroup that executes the
+// shared warmup once and forks per policy when two or more cells miss
+// the cache — and returns their canonical entry payloads in member
+// order, byte-identical to what per-cell execution would produce. The
+// group holds one worker token for its whole run: its cells are a
+// leader plus followers forked from it, which cannot run concurrently
+// with each other anyway.
+func (s *Server) runCellGroup(j *jobState, cells []cell, idxs []int) [][]byte {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	first := cells[idxs[0]]
+	b := s.memo.Get(first.workload, first.scale)
+	out := make([][]byte, len(idxs))
+	cfgs := make([]config.Config, len(idxs))
+	keys := make([]string, len(idxs))
+	var miss []int // positions in idxs whose cell has no cached entry
+	for k, i := range idxs {
+		c := cells[i]
+		cfgs[k] = core.DeriveConfig(b, 1, c.pct, c.policy, c.base)
+		keys[k] = CellKey(c.workload, c.scale, c.pct, cfgs[k])
+		if p, ok := s.cache.Get(keys[k]); ok {
+			out[k] = p
+			s.cellsCached.Add(1)
+			s.cellsCompleted.Add(1)
+			j.cellDone(true)
+			continue
+		}
+		miss = append(miss, k)
+	}
+	var results []*core.Result
+	switch {
+	case len(miss) > 1:
+		missCfgs := make([]config.Config, len(miss))
+		for mi, k := range miss {
+			missCfgs[mi] = cfgs[k]
+		}
+		var st snapshot.Stats
+		results, st = snapshot.RunGroup(b, missCfgs)
+		s.cellsForked.Add(uint64(st.Forked))
+		s.sharedKernels.Add(uint64(st.SharedKernels))
+	case len(miss) == 1:
+		results = []*core.Result{core.Run(b, cfgs[miss[0]])}
+	}
+	for mi, k := range miss {
+		c := cells[idxs[k]]
+		entry := &resultio.CellEntry{
+			Version: resultio.CellFormatVersion,
+			Key:     keys[k],
+			Record:  *resultio.FromResult(results[mi], c.scale, c.pct),
+		}
+		var buf bytes.Buffer
+		if err := resultio.WriteCellEntry(&buf, entry); err != nil {
+			panic(fmt.Sprintf("serve: encoding cell entry: %v", err))
+		}
+		s.cache.Put(keys[k], buf.Bytes())
+		s.cellsSimulated.Add(1)
+		s.cellsCompleted.Add(1)
+		j.cellDone(false)
+		out[k] = buf.Bytes()
+	}
+	return out
+}
+
 // runColoCell executes one co-location cell — cache hit or scenario run
 // — and returns its canonical entry payload. Construction and run
 // errors abort the job through the sweep.Parallel panic path, exactly
@@ -370,17 +499,19 @@ func (s *Server) MetricsSnapshot() obs.Snapshot {
 		Version: obs.MetricsFormatVersion,
 		Name:    "simd",
 		Counters: map[string]uint64{
-			"serve.jobs.submitted":   s.jobsSubmitted.Load(),
-			"serve.jobs.completed":   s.jobsCompleted.Load(),
-			"serve.jobs.failed":      s.jobsFailed.Load(),
-			"serve.cells.completed":  s.cellsCompleted.Load(),
-			"serve.cells.simulated":  s.cellsSimulated.Load(),
-			"serve.cells.cache_hits": s.cellsCached.Load(),
-			"serve.cache.entries":    uint64(cs.Entries),
-			"serve.cache.bytes":      cs.Bytes,
-			"serve.cache.hits":       cs.Hits,
-			"serve.cache.misses":     cs.Misses,
-			"serve.cache.evictions":  cs.Evictions,
+			"serve.jobs.submitted":          s.jobsSubmitted.Load(),
+			"serve.jobs.completed":          s.jobsCompleted.Load(),
+			"serve.jobs.failed":             s.jobsFailed.Load(),
+			"serve.cells.completed":         s.cellsCompleted.Load(),
+			"serve.cells.simulated":         s.cellsSimulated.Load(),
+			"serve.cells.cache_hits":        s.cellsCached.Load(),
+			"serve.snapshot.forked_cells":   s.cellsForked.Load(),
+			"serve.snapshot.shared_kernels": s.sharedKernels.Load(),
+			"serve.cache.entries":           uint64(cs.Entries),
+			"serve.cache.bytes":             cs.Bytes,
+			"serve.cache.hits":              cs.Hits,
+			"serve.cache.misses":            cs.Misses,
+			"serve.cache.evictions":         cs.Evictions,
 		},
 	}
 }

@@ -1,6 +1,6 @@
 // Package sim provides the discrete-event simulation engine used by every
 // timing model in the repository: a cycle-granular clock and a
-// deterministic min-heap event queue.
+// deterministic event queue.
 //
 // All simulated time is expressed in GPU core cycles (uint64). Events
 // scheduled for the same cycle fire in FIFO order of scheduling, which
@@ -8,21 +8,36 @@
 //
 // # Performance model
 //
-// The queue is a hand-rolled 4-ary min-heap over pointer-free 24-byte
-// entries (cycle, sequence number, slot index); event closures live in a
-// free-listed slot arena beside the heap. Sifting therefore moves small
-// scalar values with no write barriers and no interface boxing, and a
-// warmed engine schedules and dispatches events with zero heap
-// allocations (asserted by engine_alloc_test.go). Events scheduled for
-// the current cycle while the queue is hot bypass the heap entirely and
-// go to a same-cycle FIFO ring, which preserves global (cycle, seq)
-// order because every ring entry was necessarily sequenced after every
-// same-cycle heap entry.
+// The queue is a hierarchical timing wheel: a power-of-two calendar of
+// bucket chains covering the cycles [base, base+wheelSize), backed by a
+// three-level occupancy bitmap (find-next-occupied-bucket is a handful
+// of word operations), with a 4-ary min-heap of pointer-free 24-byte
+// entries as the overflow area for events beyond the window. Event
+// closures live in a free-listed slot arena; bucket chains are threaded
+// through the arena's next links, so a warmed engine schedules and
+// dispatches events with zero heap allocations (asserted by
+// engine_alloc_test.go).
+//
+// Determinism is structural rather than comparison-based:
+//
+//   - The window start (base) only moves forward, and only up to the
+//     earliest chained cycle, so every bucket chain holds events of
+//     exactly one cycle at a time, appended in scheduling (seq) order.
+//     Draining a chain head-to-tail is therefore exact (at, seq) order.
+//   - Overflow entries are moved into the wheel by refill at the moment
+//     the window first covers their cycle — before any direct push can
+//     target that cycle — and refill pops the heap in (at, seq) order,
+//     so a refilled chain is seq-ordered too.
+//
+// Same-cycle pushes land in the current cycle's bucket chain, which is
+// what the pre-wheel engine's FIFO ring provided, without a second
+// structure.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in GPU core cycles.
@@ -38,7 +53,20 @@ type Event func()
 // is never a valid ID.
 type EventID uint64
 
-// entry is one scheduled event's heap key. It is deliberately free of
+// Timing-wheel geometry. The window must comfortably cover the model's
+// common latencies (DMA transfers, link round trips, and the ~67k-cycle
+// far-fault handling delay) so that steady-state traffic never touches
+// the overflow heap; 2^17 cycles does, at a cost of 1MB of bucket
+// head/tail indexes per engine, allocated once on first use.
+const (
+	wheelBits = 17
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+	l0Words   = wheelSize / 64 // occupancy words, one bit per bucket
+	l1Words   = l0Words / 64   // summary words, one bit per l0 word
+)
+
+// entry is one overflow event's heap key. It is deliberately free of
 // pointers: heap sifts move entries with plain 24-byte copies and no GC
 // write barriers. The closure itself lives in the slot arena.
 type entry struct {
@@ -53,18 +81,19 @@ func less(a, b entry) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// slot holds one pending event closure in the arena. Free slots are
-// chained through next; free-list links are 1-based so that the zero
-// value of Engine (free == 0) means "no free slots".
+// slot holds one pending event in the arena. next doubles as the
+// free-list link and the bucket chain link; links are 1-based so that
+// the zero value of Engine (free == 0) means "no free slots".
 type slot struct {
 	fn   Event
+	at   Cycle
+	seq  uint64
 	next int32
 }
 
-// arity is the heap fan-out. A 4-ary heap halves the depth of the
-// pop-side sift (the hot operation: the profile is pop-dominated) at the
-// cost of three comparisons per level, which is a net win because the
-// children share a cache line pair.
+// arity is the overflow heap fan-out. A 4-ary heap halves the depth of
+// the pop-side sift at the cost of three comparisons per level, a net
+// win because the children share a cache line pair.
 const arity = 4
 
 // Engine is a deterministic discrete-event simulator.
@@ -76,13 +105,22 @@ type Engine struct {
 	now Cycle
 	seq uint64
 
-	// heap is the 4-ary min-heap of future events ordered by (at, seq).
+	// base is the wheel window start: bucket chains cover cycles
+	// [base, base+wheelSize), the overflow heap everything beyond. base
+	// never decreases and never passes a chained event's cycle.
+	base Cycle
+
+	// bhead/btail are 1-based arena indexes of each bucket chain's ends
+	// (0 = empty), allocated lazily on the first schedule.
+	bhead []int32
+	btail []int32
+	// occ/occ1/occ2 form the three-level occupancy bitmap over buckets.
+	occ  []uint64
+	occ1 []uint64
+	occ2 uint64
+
+	// heap is the 4-ary min-heap of overflow events ordered by (at, seq).
 	heap []entry
-	// ring is the FIFO of events scheduled for the current cycle; see the
-	// package comment for why draining it after same-cycle heap entries
-	// preserves (at, seq) order. ringHead indexes the first live element.
-	ring     []entry
-	ringHead int
 
 	// slots is the closure arena; free is the 1-based free-list head
 	// (0 = none).
@@ -122,30 +160,187 @@ func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
 // events are not counted).
 func (e *Engine) Pending() int { return e.live }
 
-// allocSlot stores fn in the arena and returns its index.
+// Snap is a quiescent-point engine snapshot. With no events pending the
+// entire engine state reduces to the clock, the sequence allocator and
+// the fired count; the wheel, arena and overflow heap are all empty by
+// definition. Restoring a Snap into a fresh engine therefore recreates
+// the exact scheduling state: same now, and — because seq is carried
+// over — identical (at, seq) tie-break behavior for everything scheduled
+// afterwards.
+type Snap struct {
+	Now   Cycle
+	Seq   uint64
+	Fired uint64
+}
+
+// Snapshot captures the engine state at a quiescent point. It panics if
+// events are pending: mid-flight closures cannot be snapshotted, and
+// every legitimate fork point in the simulator (kernel barriers, run
+// completion) is fully drained.
+func (e *Engine) Snapshot() Snap {
+	if e.live != 0 {
+		panic(fmt.Sprintf("sim: snapshot with %d events pending", e.live))
+	}
+	return Snap{Now: e.now, Seq: e.seq, Fired: e.fired}
+}
+
+// Restore resets the engine to the snapshot's quiescent state, dropping
+// any pending events and positioning the wheel window at the restored
+// clock. The event budget and daemon configuration are preserved.
+func (e *Engine) Restore(s Snap) {
+	e.now, e.seq, e.fired = s.Now, s.Seq, s.Fired
+	e.base = s.Now
+	for i := range e.bhead {
+		e.bhead[i], e.btail[i] = 0, 0
+	}
+	for i := range e.occ {
+		e.occ[i] = 0
+	}
+	for i := range e.occ1 {
+		e.occ1[i] = 0
+	}
+	e.occ2 = 0
+	e.heap = e.heap[:0]
+	e.slots = e.slots[:0]
+	e.free = 0
+	e.live = 0
+}
+
+// initWheel allocates the bucket arrays on first use, keeping the
+// zero-value Engine cheap until it actually schedules something.
+func (e *Engine) initWheel() {
+	e.bhead = make([]int32, wheelSize)
+	e.btail = make([]int32, wheelSize)
+	e.occ = make([]uint64, l0Words)
+	e.occ1 = make([]uint64, l1Words)
+	e.base = e.now
+}
+
+// allocSlot stores the event in the arena and returns its index.
 //
 //sim:hotpath
-func (e *Engine) allocSlot(fn Event) int32 {
+func (e *Engine) allocSlot(at Cycle, seq uint64, fn Event) int32 {
 	if e.free != 0 {
 		s := e.free - 1
 		e.free = e.slots[s].next
-		e.slots[s].fn = fn
+		e.slots[s] = slot{fn: fn, at: at, seq: seq}
 		return s
 	}
-	e.slots = append(e.slots, slot{fn: fn})
+	e.slots = append(e.slots, slot{fn: fn, at: at, seq: seq})
 	return int32(len(e.slots) - 1)
 }
 
-// takeSlot removes and returns the closure of slot s, releasing it to
-// the free list.
+// freeSlot releases slot s to the free list. The seq is cleared so that
+// Cancel can never match a recycled slot against a stale ID.
 //
 //sim:hotpath
-func (e *Engine) takeSlot(s int32) Event {
-	fn := e.slots[s].fn
-	e.slots[s].fn = nil
-	e.slots[s].next = e.free
+func (e *Engine) freeSlot(s int32) {
+	e.slots[s] = slot{next: e.free}
 	e.free = s + 1
-	return fn
+}
+
+// setOcc marks bucket idx occupied in all bitmap levels.
+//
+//sim:hotpath
+func (e *Engine) setOcc(idx int) {
+	w := idx >> 6
+	e.occ[w] |= 1 << uint(idx&63)
+	e.occ1[w>>6] |= 1 << uint(w&63)
+	e.occ2 |= 1 << uint(w>>6)
+}
+
+// clearOcc unmarks bucket idx, propagating emptiness up the levels.
+//
+//sim:hotpath
+func (e *Engine) clearOcc(idx int) {
+	w := idx >> 6
+	e.occ[w] &^= 1 << uint(idx&63)
+	if e.occ[w] != 0 {
+		return
+	}
+	e.occ1[w>>6] &^= 1 << uint(w&63)
+	if e.occ1[w>>6] == 0 {
+		e.occ2 &^= 1 << uint(w>>6)
+	}
+}
+
+// findOccFrom returns the lowest occupied bucket index >= pos, or -1.
+//
+//sim:hotpath
+func (e *Engine) findOccFrom(pos int) int {
+	w := pos >> 6
+	if m := e.occ[w] & (^uint64(0) << uint(pos&63)); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m)
+	}
+	w1 := w >> 6
+	// In Go a shift count >= 64 yields 0, so the r == 64 edge (last word
+	// of the group) falls out naturally.
+	if m := e.occ1[w1] & (^uint64(0) << uint(w&63+1)); m != 0 {
+		w = w1<<6 + bits.TrailingZeros64(m)
+		return w<<6 + bits.TrailingZeros64(e.occ[w])
+	}
+	if m := e.occ2 & (^uint64(0) << uint(w1+1)); m != 0 {
+		w1 = bits.TrailingZeros64(m)
+		w = w1<<6 + bits.TrailingZeros64(e.occ1[w1])
+		return w<<6 + bits.TrailingZeros64(e.occ[w])
+	}
+	return -1
+}
+
+// pushBucket appends arena node s (a 0-based index) to its cycle's
+// bucket chain. Callers guarantee the cycle is inside the window; the
+// single-cycle-per-chain invariant (see the package comment) makes the
+// append position exact (at, seq) order.
+//
+//sim:hotpath
+func (e *Engine) pushBucket(at Cycle, s int32) {
+	idx := int(at & wheelMask)
+	e.slots[s].next = 0
+	if t := e.btail[idx]; t != 0 {
+		e.slots[t-1].next = s + 1
+	} else {
+		e.bhead[idx] = s + 1
+		e.setOcc(idx)
+	}
+	e.btail[idx] = s + 1
+}
+
+// popBucketHead unlinks and returns the head node of bucket idx.
+//
+//sim:hotpath
+func (e *Engine) popBucketHead(idx int) int32 {
+	h := e.bhead[idx] - 1
+	nx := e.slots[h].next
+	e.bhead[idx] = nx
+	if nx == 0 {
+		e.btail[idx] = 0
+		e.clearOcc(idx)
+	}
+	return h
+}
+
+// refill moves overflow events whose cycle the window now covers into
+// their buckets. It runs on every base advance, which is exactly the
+// moment the window first covers those cycles — before any direct push
+// can target them — and pops the heap in (at, seq) order, so chain
+// append order remains seq order.
+//
+//sim:hotpath
+func (e *Engine) refill() {
+	for len(e.heap) > 0 && e.heap[0].at-e.base < wheelSize {
+		en := e.popHeap()
+		e.pushBucket(en.at, en.slot)
+	}
+}
+
+// advanceBase slides the window forward to at and refills.
+//
+//sim:hotpath
+func (e *Engine) advanceBase(at Cycle) {
+	if at > e.base {
+		e.base = at
+		e.refill()
+	}
 }
 
 // schedule enqueues fn at absolute cycle at and returns its ID.
@@ -158,16 +353,15 @@ func (e *Engine) schedule(at Cycle, fn Event) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (at=%d now=%d)", at, e.now))
 	}
+	if e.bhead == nil {
+		e.initWheel()
+	}
 	e.seq++
-	en := entry{at: at, seq: e.seq, slot: e.allocSlot(fn)}
-	if at == e.now {
-		// Same-cycle fast path: FIFO ring instead of the heap. Every heap
-		// entry at this cycle was sequenced earlier (pushes require
-		// at > now at push time, or went to the ring themselves), so
-		// draining heap-then-ring at this cycle is exact (at, seq) order.
-		e.ring = append(e.ring, en)
+	s := e.allocSlot(at, e.seq, fn)
+	if at-e.base < wheelSize {
+		e.pushBucket(at, s)
 	} else {
-		e.pushHeap(en)
+		e.pushHeap(entry{at: at, seq: e.seq, slot: s})
 	}
 	e.live++
 	return EventID(e.seq)
@@ -191,36 +385,29 @@ func (e *Engine) ScheduleAfter(delay Cycle, fn Event) EventID {
 // Cancel removes a scheduled event before it fires. It reports whether
 // the event was still pending. Cancellation is lazy: the entry is
 // tombstoned in place (its closure dropped) and skipped at dispatch, so
-// Cancel costs a linear scan but adds nothing to the hot path.
+// Cancel costs a linear arena scan but adds nothing to the hot path.
 func (e *Engine) Cancel(id EventID) bool {
 	seq := uint64(id)
 	if seq == 0 || seq > e.seq {
 		return false
 	}
-	for i := range e.heap {
-		if e.heap[i].seq == seq {
-			return e.tombstone(e.heap[i].slot)
-		}
-	}
-	for i := e.ringHead; i < len(e.ring); i++ {
-		if e.ring[i].seq == seq {
-			return e.tombstone(e.ring[i].slot)
+	// Every pending event — chained or in the overflow heap — has its
+	// seq in the arena; freed slots have seq 0, so fired or recycled
+	// events can never match.
+	for i := range e.slots {
+		if e.slots[i].seq == seq {
+			if e.slots[i].fn == nil {
+				return false
+			}
+			e.slots[i].fn = nil
+			e.live--
+			return true
 		}
 	}
 	return false
 }
 
-// tombstone drops the slot's closure so dispatch skips the entry.
-func (e *Engine) tombstone(s int32) bool {
-	if e.slots[s].fn == nil {
-		return false
-	}
-	e.slots[s].fn = nil
-	e.live--
-	return true
-}
-
-// pushHeap inserts en, sifting up.
+// pushHeap inserts en into the overflow heap, sifting up.
 //
 //sim:hotpath
 func (e *Engine) pushHeap(en entry) {
@@ -237,7 +424,7 @@ func (e *Engine) pushHeap(en entry) {
 	e.heap[i] = en
 }
 
-// popHeap removes and returns the minimum entry.
+// popHeap removes and returns the minimum overflow entry.
 //
 //sim:hotpath
 func (e *Engine) popHeap() entry {
@@ -275,33 +462,78 @@ func (e *Engine) popHeap() entry {
 	return top
 }
 
-// next dequeues the earliest pending entry in (at, seq) order, or
-// ok=false when the engine is drained. Tombstoned (canceled) entries are
-// discarded without advancing the clock.
+// scanWheel returns the occupied bucket holding the earliest chained
+// event, popping tombstoned heads as it goes; ok=false when the wheel
+// is empty. It never moves the window: peeking (headAt) must leave base
+// <= now so that later pushes at cycles >= now stay inside the window.
 //
 //sim:hotpath
-func (e *Engine) next() (entry, Event, bool) {
+func (e *Engine) scanWheel() (idx int, at Cycle, ok bool) {
+	if e.bhead == nil {
+		return 0, 0, false
+	}
 	for {
-		var en entry
-		switch {
-		case len(e.heap) > 0 && e.heap[0].at <= e.now:
-			// Same-cycle heap entries precede every ring entry (smaller seq).
-			en = e.popHeap()
-		case e.ringHead < len(e.ring):
-			en = e.ring[e.ringHead]
-			e.ringHead++
-			if e.ringHead == len(e.ring) {
-				e.ring = e.ring[:0]
-				e.ringHead = 0
+		idx = e.findOccFrom(int(e.base & wheelMask))
+		if idx < 0 {
+			// The window may have wrapped: any occupied bucket below the
+			// base position maps to a later cycle in the window.
+			idx = e.findOccFrom(0)
+		}
+		if idx < 0 {
+			return 0, 0, false
+		}
+		h := e.bhead[idx] - 1
+		if e.slots[h].fn == nil {
+			e.popBucketHead(idx)
+			e.freeSlot(h)
+			continue
+		}
+		return idx, e.slots[h].at, true
+	}
+}
+
+// cleanHeapHead discards tombstoned entries at the overflow heap's root
+// so its minimum is a live event.
+func (e *Engine) cleanHeapHead() {
+	for len(e.heap) > 0 && e.slots[e.heap[0].slot].fn == nil {
+		e.freeSlot(e.popHeap().slot)
+	}
+}
+
+// next dequeues the earliest pending event in (at, seq) order, or
+// ok=false when the engine is drained. Tombstoned (canceled) entries are
+// discarded without advancing the clock. Every wheel cycle precedes
+// every overflow cycle (the heap minimum is >= base+wheelSize by the
+// refill invariant), so the wheel head, when present, is the global
+// minimum. Advancing base here is safe — unlike in headAt — because the
+// caller immediately moves the clock to the returned cycle, so no push
+// can land behind the window.
+//
+//sim:hotpath
+func (e *Engine) next() (Cycle, Event, bool) {
+	for {
+		idx, at, ok := e.scanWheel()
+		if !ok {
+			e.cleanHeapHead()
+			if len(e.heap) == 0 {
+				return 0, nil, false
 			}
-		case len(e.heap) > 0:
-			en = e.popHeap()
-		default:
-			return entry{}, nil, false
+			// The wheel is drained: jump the window to the overflow
+			// frontier and refill; the next iteration finds the event in
+			// its bucket.
+			e.advanceBase(e.heap[0].at)
+			continue
 		}
-		if fn := e.takeSlot(en.slot); fn != nil {
-			return en, fn, true
-		}
+		// Pull the window up to the dispatch frontier so pushes reach as
+		// far ahead as possible before overflowing. Refill cannot touch
+		// this bucket: refilled cycles lie in [oldBase+wheelSize, at+wheelSize),
+		// and the only one congruent to at is at+wheelSize itself, which
+		// is out of range.
+		e.advanceBase(at)
+		h := e.popBucketHead(idx)
+		fn := e.slots[h].fn
+		e.freeSlot(h)
+		return at, fn, true
 	}
 }
 
@@ -310,11 +542,11 @@ func (e *Engine) next() (entry, Event, bool) {
 //
 //sim:hotpath
 func (e *Engine) Step() bool {
-	en, fn, ok := e.next()
+	at, fn, ok := e.next()
 	if !ok {
 		return false
 	}
-	e.now = en.at
+	e.now = at
 	e.live--
 	e.fired++
 	if e.budget != 0 && e.fired > e.budget {
@@ -354,22 +586,10 @@ func (e *Engine) Run() Cycle {
 //
 //sim:hotpath
 func (e *Engine) headAt() (Cycle, bool) {
-	for len(e.heap) > 0 && e.slots[e.heap[0].slot].fn == nil {
-		en := e.popHeap()
-		e.takeSlot(en.slot)
+	if _, at, ok := e.scanWheel(); ok {
+		return at, true
 	}
-	for e.ringHead < len(e.ring) && e.slots[e.ring[e.ringHead].slot].fn == nil {
-		e.takeSlot(e.ring[e.ringHead].slot)
-		e.ringHead++
-	}
-	if e.ringHead == len(e.ring) && e.ringHead > 0 {
-		e.ring = e.ring[:0]
-		e.ringHead = 0
-	}
-	if e.ringHead < len(e.ring) {
-		// Live ring entries are always at the current cycle.
-		return e.now, true
-	}
+	e.cleanHeapHead()
 	if len(e.heap) > 0 {
 		return e.heap[0].at, true
 	}

@@ -1,0 +1,114 @@
+package snapshot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"uvmsim/internal/config"
+	"uvmsim/internal/core"
+	"uvmsim/internal/workloads"
+)
+
+// report renders every observable statistic of a run — all counters and
+// every kernel span — so the equivalence comparison catches divergence
+// in any field, not just runtime.
+func report(r *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %+v\n", r.Workload, r.Counters)
+	for _, s := range r.Spans {
+		fmt.Fprintf(&b, "%+v\n", s)
+	}
+	return b.String()
+}
+
+// TestRunGroupMatchesScratch is the fork-equivalence golden property:
+// for every workload class and oversubscription level, running the four
+// policies as one prefix-shared group must produce byte-identical
+// results to running each cell from scratch. This is the contract that
+// makes snapshot sharing a pure optimization.
+func TestRunGroupMatchesScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep comparison")
+	}
+	for _, name := range []string{"fdtd", "bfs", "ra"} {
+		for _, pct := range []uint64{100, 125} {
+			t.Run(fmt.Sprintf("%s/%d", name, pct), func(t *testing.T) {
+				base := config.Default()
+				base.Penalty = 8
+				b := workloads.MustGet(name)(0.1)
+				var cfgs []config.Config
+				for _, pol := range config.Policies() {
+					cfgs = append(cfgs, core.DeriveConfig(b, 1, pct, pol, base))
+				}
+				got, st := RunGroup(b, cfgs)
+				if st.Cells != len(cfgs) || st.Scratch+st.Forked != st.Cells {
+					t.Errorf("inconsistent stats: %+v", st)
+				}
+				for i, cfg := range cfgs {
+					want := report(core.Run(b, cfg))
+					if r := report(got[i]); r != want {
+						t.Errorf("%v: forked run diverged from scratch:\n--- scratch\n%s--- forked\n%s",
+							cfg.Policy, want, r)
+					}
+				}
+				t.Logf("%s/%d: %+v", name, pct, st)
+			})
+		}
+	}
+}
+
+// TestRunGroupSharesWork asserts the mechanism actually fires: the
+// memory-fill warmup is first-touch under Disabled, Oversub and
+// Adaptive alike, so a policy sweep group must complete at least one
+// follower from a fork with a non-trivial shared prefix.
+func TestRunGroupSharesWork(t *testing.T) {
+	base := config.Default()
+	base.Penalty = 8
+	b := workloads.MustGet("fdtd")(0.1)
+	var cfgs []config.Config
+	for _, pol := range config.Policies() {
+		cfgs = append(cfgs, core.DeriveConfig(b, 1, 125, pol, base))
+	}
+	_, st := RunGroup(b, cfgs)
+	if st.Forked == 0 || st.SharedKernels == 0 {
+		t.Fatalf("no prefix sharing on a policy sweep: %+v", st)
+	}
+}
+
+// TestRunGroupUnsharableFallsBack pins the scratch fallbacks: a learned
+// pipeline stage and a non-groupable configuration mix must both run
+// every cell from scratch and still return correct results.
+func TestRunGroupUnsharableFallsBack(t *testing.T) {
+	base := config.Default()
+	base.Penalty = 8
+	b := workloads.MustGet("ra")(0.05)
+	cfgA := core.DeriveConfig(b, 1, 125, config.PolicyAdaptive, base)
+	cfgB := core.DeriveConfig(b, 1, 125, config.PolicyOversub, base)
+
+	learned := cfgA
+	learned.MMPipeline.Planner = "reuse-dist"
+	slower := cfgB
+	slower.PCIeLatency *= 2
+	for _, tc := range []struct {
+		name string
+		cfgs []config.Config
+	}{
+		{"learned-stage", []config.Config{learned, cfgB}},
+		{"non-policy-field-differs", []config.Config{cfgA, slower}},
+		{"single-cell", []config.Config{cfgA}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, st := RunGroup(b, tc.cfgs)
+			if st.Scratch != len(tc.cfgs) || st.Forked != 0 {
+				t.Fatalf("expected all-scratch fallback, got %+v", st)
+			}
+			for i, cfg := range tc.cfgs {
+				want := report(core.Run(b, cfg))
+				if r := report(got[i]); r != want {
+					t.Errorf("cell %d: fallback result differs from scratch:\n--- want\n%s--- got\n%s", i, want, r)
+				}
+			}
+		})
+	}
+}

@@ -195,6 +195,9 @@ type Driver struct {
 	// (blockState.waiters).
 	blockListFree [][]memunits.BlockNum
 	waiterFree    [][]func()
+	// wakeFree recycles the batched-wake records of landMigration (one
+	// engine event per block instead of one per waiter).
+	wakeFree []*wake
 
 	// Eviction-path scratch, reused across victim selections (see
 	// evictionhost.go).
@@ -209,7 +212,10 @@ type Driver struct {
 
 	faultLatency sim.Cycle
 	gmmuTLB      *tlb
-	obs          AccessObserver
+	// mon mirrors policy-relevant decisions to the fork runner's
+	// divergence detector (see snapshot.go); nil when detached.
+	mon DecisionMonitor
+	obs AccessObserver
 	// o holds the observability hooks (see obs.go); nil when disabled.
 	o         *driverObs
 	finalized bool
@@ -484,6 +490,58 @@ func (d *Driver) TryFastAccess(addr memunits.Addr, write bool) (sim.Cycle, bool)
 	return now + walk + sim.Cycle(d.cfg.DRAMLatency), true
 }
 
+// TryFastAccessRun serves a run of sector accesses that all fall in the
+// same 64KB block, returning the latest completion cycle. It is exactly
+// equivalent to calling TryFastAccess on each address in order — the
+// TLB is still walked per sector, in sequence, because sectors of one
+// block can span pages and translation order is architectural state —
+// but the residency check, counter bumps, recency stamps and stats are
+// batched into one pass. ok is false when the block is not resident and
+// the caller must fall back to per-sector processing.
+//
+//sim:hotpath
+func (d *Driver) TryFastAccessRun(addrs []memunits.Addr, write bool) (sim.Cycle, bool) {
+	b := memunits.BlockOf(addrs[0])
+	bs := d.blockAt(b)
+	if bs == nil || !bs.resident() {
+		return 0, false
+	}
+	// Sectors arrive sorted, so same-page sectors are consecutive. After
+	// the first lookup of a page the entry sits at the LRU front and every
+	// further lookup is a guaranteed hit that touch() no-ops, so one
+	// translate per page plus a hit-counter bump is exactly equivalent to
+	// walking the TLB per sector.
+	var maxWalk sim.Cycle
+	for i := 0; i < len(addrs); {
+		p := memunits.PageOf(addrs[i])
+		j := i + 1
+		for j < len(addrs) && memunits.PageOf(addrs[j]) == p {
+			j++
+		}
+		if w := d.translate(addrs[i]); w > maxWalk {
+			maxWalk = w
+		}
+		d.st.TLBHits += uint64(j - i - 1)
+		i = j
+	}
+	d.ctrs.AccessRun(uint64(b), uint64(len(addrs)))
+	now := d.eng.Now()
+	bs.lastAccess = now
+	if write {
+		bs.dirty = true
+	}
+	if cs := d.chunkAt(memunits.ChunkOf(addrs[0])); cs != nil {
+		cs.lastAccess = now
+	}
+	d.st.NearAccesses += uint64(len(addrs))
+	if d.obs != nil {
+		for _, a := range addrs {
+			d.obs(now, a, write, AccessNear)
+		}
+	}
+	return now + maxWalk + sim.Cycle(d.cfg.DRAMLatency), true
+}
+
 // Access serves one 128B-sector transaction asynchronously; done fires
 // when the data is available to the SM. Residency, the migration
 // planner and fault batching decide whether this becomes a near access,
@@ -532,18 +590,28 @@ func (d *Driver) Access(addr memunits.Addr, write bool, done func()) {
 	case AdvicePinHost:
 		// Hard-pinned zero-copy allocation: never migrated.
 		migrate = false
+		if d.mon != nil {
+			d.mon.OnUnforkable("pin-host advice bypasses the planner")
+		}
 	case AdvicePreferHost:
 		// Soft pin: Volta semantics regardless of the global policy.
 		migrate = write || count >= d.cfg.StaticThreshold
+		if d.mon != nil {
+			d.mon.OnUnforkable("prefer-host advice bypasses the planner")
+		}
 	default:
-		migrate = d.planner.ShouldMigrate(mm.Access{
+		a := mm.Access{
 			Block:      b,
 			Write:      write,
 			Count:      count,
 			RoundTrips: d.ctrs.RoundTrips(uint64(b)),
 			Mem:        d.memState(),
 			Now:        now,
-		})
+		}
+		migrate = d.planner.ShouldMigrate(a)
+		if d.mon != nil {
+			d.mon.OnPlan(a, migrate)
+		}
 	}
 	if !migrate {
 		d.remoteAccess(addr, write, walk, done)
@@ -727,6 +795,46 @@ func (d *Driver) dispatch(m migration) {
 	d.link.Transfer(interconnect.HostToDevice, bytes, func() { d.landMigration(m) })
 }
 
+// wake is a pooled batched-wake record: one engine event that fires a
+// whole waiter list in its original append order. The per-waiter events
+// it replaces were scheduled back-to-back (consecutive seqs at one
+// cycle, nothing interleaved), so firing the callbacks consecutively
+// from one event preserves the exact same execution order.
+type wake struct {
+	d  *Driver
+	ws []func()
+	fn sim.Event
+}
+
+//sim:hotpath
+func (k *wake) fire() {
+	d, ws := k.d, k.ws
+	k.ws = nil
+	d.wakeFree = append(d.wakeFree, k)
+	for _, w := range ws {
+		w()
+	}
+	d.putWaiterList(ws)
+}
+
+// wakeAll schedules one event that runs every waiter after the DRAM
+// access latency, recycling the list once fired.
+//
+//sim:hotpath
+func (d *Driver) wakeAll(ws []func()) {
+	var k *wake
+	if n := len(d.wakeFree); n > 0 {
+		k = d.wakeFree[n-1]
+		d.wakeFree = d.wakeFree[:n-1]
+	} else {
+		//simlint:allow hotalloc -- pool-miss path; each wake object is recycled via wakeFree, so allocations stop once the pool covers peak concurrency
+		k = &wake{d: d}
+		k.fn = k.fire
+	}
+	k.ws = ws
+	d.eng.After(sim.Cycle(d.cfg.DRAMLatency), k.fn)
+}
+
 // landMigration marks the blocks resident and wakes their waiters.
 func (d *Driver) landMigration(m migration) {
 	now := d.eng.Now()
@@ -740,11 +848,12 @@ func (d *Driver) landMigration(m migration) {
 		bs.lastAccess = now
 		waiters := bs.waiters
 		bs.waiters = nil
-		for _, w := range waiters {
-			d.st.NearAccesses++
-			d.eng.After(sim.Cycle(d.cfg.DRAMLatency), w)
+		if len(waiters) > 0 {
+			d.st.NearAccesses += uint64(len(waiters))
+			d.wakeAll(waiters)
+		} else {
+			d.putWaiterList(waiters)
 		}
-		d.putWaiterList(waiters)
 	}
 	m.cs.inFlightBlocks -= len(m.blocks)
 	d.inFlightTotal -= len(m.blocks)

@@ -62,10 +62,10 @@ func GenTraversalGraph(n, avgDeg, layers int, reachFrac float64, seed uint64) *G
 	// s is in ascending id order, which is already scattered relative to
 	// the hash-based membership; interleave round-robin so every layer
 	// spreads across the id space.
-	layerOf := make(map[int32]int, len(s))
+	layerOf := make([]int32, n) // layer+1; 0 = unreachable
 	byLayer := make([][]int32, layers+1)
 	byLayer[0] = []int32{0}
-	layerOf[0] = 0
+	layerOf[0] = 1
 	i := 0
 	for _, v := range s {
 		if v == 0 {
@@ -73,12 +73,21 @@ func GenTraversalGraph(n, avgDeg, layers int, reachFrac float64, seed uint64) *G
 		}
 		l := 1 + i%layers
 		byLayer[l] = append(byLayer[l], v)
-		layerOf[v] = l
+		layerOf[v] = int32(l) + 1
 		i++
 	}
 
-	adj := make([][]int32, n)
-	addEdge := func(u int, t int32) { adj[u] = append(adj[u], t) }
+	// Edges accumulate as flat (source, target) pairs plus a per-node
+	// degree count, then a stable counting sort lays out the CSR — one
+	// growing buffer instead of n per-node adjacency slices, which
+	// dominated generation time at paper scale.
+	type edge struct{ u, t int32 }
+	pairs := make([]edge, 0, n*avgDeg+n)
+	deg := make([]int32, n)
+	addEdge := func(u int, t int32) {
+		pairs = append(pairs, edge{int32(u), t})
+		deg[u]++
+	}
 
 	// Backbone: every node of layer k+1 gets one in-edge from a random
 	// node of layer k, making BFS discover exactly one layer per level.
@@ -114,30 +123,38 @@ func GenTraversalGraph(n, avgDeg, layers int, reachFrac float64, seed uint64) *G
 	// (an edge into an already-visited wave never re-expands BFS, while
 	// it does re-activate waves in worklist SSSP).
 	for v := 0; v < n; v++ {
-		if l, ok := layerOf[int32(v)]; ok {
-			for len(adj[v]) < avgDeg {
+		if lp := layerOf[v]; lp != 0 {
+			l := int(lp - 1)
+			for int(deg[v]) < avgDeg {
 				tgt := byLayer[rng.intn(l+1)]
 				addEdge(v, tgt[rng.intn(len(tgt))])
 			}
 			continue
 		}
-		for len(adj[v]) < avgDeg {
+		for int(deg[v]) < avgDeg {
 			addEdge(v, int32(rng.intn(n)))
 		}
 	}
 
 	g := &Graph{N: n, RowPtr: make([]int32, n+1)}
-	var total int
-	for _, a := range adj {
-		total += len(a)
-	}
-	g.Edges = make([]int32, 0, total)
-	g.Weights = make([]int32, 0, total)
 	for v := 0; v < n; v++ {
-		g.RowPtr[v+1] = g.RowPtr[v] + int32(len(adj[v]))
-		g.Edges = append(g.Edges, adj[v]...)
-		for range adj[v] {
-			g.Weights = append(g.Weights, int32(rng.intn(15)+1))
+		g.RowPtr[v+1] = g.RowPtr[v] + deg[v]
+	}
+	total := int(g.RowPtr[n])
+	// Stable counting sort of the pairs by source node: per-node
+	// insertion order is preserved, so the CSR layout is identical to
+	// concatenating per-node adjacency lists in append order.
+	g.Edges = make([]int32, total)
+	next := make([]int32, n)
+	copy(next, g.RowPtr[:n])
+	for _, e := range pairs {
+		g.Edges[next[e.u]] = e.t
+		next[e.u]++
+	}
+	g.Weights = make([]int32, total)
+	for v := 0; v < n; v++ {
+		for j := g.RowPtr[v]; j < g.RowPtr[v+1]; j++ {
+			g.Weights[j] = int32(rng.intn(15) + 1)
 		}
 	}
 	return g
